@@ -1,0 +1,45 @@
+"""Experiment F1 — regenerate Figure 1: the depth-3 local view of node
+u0 in the labeled C6.
+
+The paper's figure shows a 2-hop colored 6-cycle (three colors, repeated
+with period 3, so antipodal nodes share colors) and the depth-3 view of
+u0: a root with 2 children and 4 grandchildren whose marks follow the
+cycle's coloring.  We rebuild exactly that tree, assert its shape, print
+it, and benchmark view construction on the same graph.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import cycle_graph
+from repro.views.local_views import all_views, view, view_partition
+
+
+def figure1_graph():
+    labels = {0: "c0", 1: "c1", 2: "c2", 3: "c0", 4: "c1", 5: "c2"}
+    return cycle_graph(6).with_layer("color", labels)
+
+
+def test_figure1_tree_shape(report, benchmark):
+    g = figure1_graph()
+    tree = benchmark.pedantic(lambda: view(g, 0, 3), rounds=1)
+    assert tree.depth == 3
+    assert tree.size == 7  # 1 root + 2 children + 4 grandchildren
+    assert tree.mark == ("c0",)
+    assert sorted(c.mark for c in tree.children) == [("c1",), ("c2",)]
+    # Figure 1's key observation: same-colored nodes share their views.
+    partition = view_partition(g, 6)
+    assert sorted(map(sorted, partition)) == [[0, 3], [1, 4], [2, 5]]
+    report(
+        "Figure 1 — depth-3 local view of u0 in the 2-hop colored C6\n"
+        + "-" * 60
+        + "\n"
+        + tree.render()
+        + "\n"
+        + f"view classes at depth 6: {partition}"
+    )
+
+
+def test_figure1_view_construction_benchmark(benchmark):
+    g = figure1_graph()
+    result = benchmark(lambda: all_views(g, 6))
+    assert len(result) == 6

@@ -1,0 +1,123 @@
+"""Experiment IMP — Angluin-style impossibility (Section 1.3 context).
+
+Two demonstrations:
+
+* *View collapse*: on vertex-transitive unlabeled graphs every node has
+  the same view, so deterministic anonymous leader election is
+  impossible; the table profiles the collapse across families.
+* *Lifted symmetric executions*: for a product graph, the lift of any
+  factor execution is a legal execution in which whole fibers behave
+  identically — exhibiting, for Las-Vegas algorithms, a
+  positive-probability execution that breaks any would-be election.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.analysis.symmetry import (
+    election_is_deterministically_impossible,
+    view_class_profile,
+)
+from repro.factor.factorizing_map import FactorizingMap
+from repro.factor.lifting import verify_execution_lifting
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    torus_graph,
+    with_uniform_input,
+)
+from repro.runtime.simulation import run_randomized
+from benchmarks.conftest import lifted_colored_c3
+
+
+def test_view_collapse_profile(report, benchmark):
+    cases = [
+        ("cycle-8", with_uniform_input(cycle_graph(8))),
+        ("complete-6", with_uniform_input(complete_graph(6))),
+        ("hypercube-3", with_uniform_input(hypercube_graph(3))),
+        ("torus-3x3", with_uniform_input(torus_graph(3, 3))),
+        ("petersen", with_uniform_input(petersen_graph())),
+        ("path-6", with_uniform_input(path_graph(6))),
+        ("star-5", with_uniform_input(star_graph(5))),
+    ]
+
+    def run():
+        return [
+            (
+                name,
+                view_class_profile(g),
+                election_is_deterministically_impossible(g),
+            )
+            for name, g in cases
+        ]
+
+    rows = []
+    for name, profile, impossible in benchmark.pedantic(run, rounds=1):
+        assert impossible  # all these families collapse somewhere
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "n": profile.num_nodes,
+                    "view classes": profile.num_classes,
+                    "largest class": profile.class_sizes[0],
+                    "election impossible": impossible,
+                },
+            )
+        )
+    report(
+        format_table(
+            "IMP — view-class collapse forbids deterministic anonymous "
+            "leader election",
+            ["n", "view classes", "largest class", "election impossible"],
+            rows,
+        )
+    )
+
+
+def test_lifted_symmetric_execution(report, benchmark):
+    def run():
+        base, lift, projection = lifted_colored_c3(4)
+        fm = FactorizingMap(
+            lift.with_only_layers(["input"]),
+            base.with_only_layers(["input"]),
+            projection,
+        )
+        algorithm = AnonymousMISAlgorithm()
+        factor_run = run_randomized(algorithm, fm.factor, seed=23)
+        comparison = verify_execution_lifting(
+            algorithm, fm, factor_run.trace.assignment()
+        )
+        return fm, comparison
+
+    fm, comparison = benchmark.pedantic(run, rounds=1)
+    assert comparison.lemma_holds
+    fiber_sizes = []
+    for target in fm.factor.nodes:
+        fiber = fm.fiber(target)
+        values = {comparison.product_result.outputs[v] for v in fiber}
+        assert len(values) == 1  # whole fiber acts as one node
+        fiber_sizes.append(len(fiber))
+    report(
+        format_table(
+            "IMP — the lifted execution is fiber-symmetric: no node of a "
+            "fiber can be distinguished (election impossible with positive "
+            "probability)",
+            ["fibers", "fiber size", "symmetric"],
+            [
+                SweepRow(
+                    "C12 over C3",
+                    {
+                        "fibers": len(fiber_sizes),
+                        "fiber size": fiber_sizes[0],
+                        "symmetric": True,
+                    },
+                )
+            ],
+        )
+    )

@@ -1,0 +1,50 @@
+"""Experiment KHOP — the k = 2 boundary of Section 1.2.
+
+"While the 2-hop variant of graph coloring is still solvable by
+randomized anonymous algorithms … this no longer holds for its k-hop
+variant for any k > 2."  The table lifts successful coloring executions
+along uniform cycle covers and reports the largest ``k`` for which the
+lifted output is still a k-hop coloring: the 2-hop guarantee survives
+every lift, the 3-hop one dies exactly at the fiber distance.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.khop_boundary import lifted_khop_violation, uniform_cycle_cover
+from repro.analysis.sweeps import SweepRow, format_table
+
+
+def test_khop_boundary_sweep(report, benchmark):
+    covers = [(3, 2), (3, 3), (3, 4), (4, 2), (5, 2), (6, 2)]
+
+    def run():
+        results = []
+        for factor, multiplier in covers:
+            covering = uniform_cycle_cover(factor, multiplier)
+            violation = lifted_khop_violation(covering, seed=2, max_k=8)
+            results.append((factor, multiplier, violation))
+        return results
+
+    rows = []
+    for factor, multiplier, violation in benchmark.pedantic(run, rounds=1):
+        assert violation.valid_up_to >= 2  # 2-hop always survives lifting
+        assert violation.valid_up_to < factor  # breaks at the fiber distance
+        rows.append(
+            SweepRow(
+                f"C{factor} ⪯ C{factor * multiplier}",
+                {
+                    "factor n": violation.factor_nodes,
+                    "product n": violation.product_nodes,
+                    "lifted valid up to k": violation.valid_up_to,
+                    "violates k=3": violation.violates(3),
+                },
+            )
+        )
+    report(
+        format_table(
+            "KHOP — lifted 2-hop colorings stay 2-hop valid but break as "
+            "k-hop colorings for k > 2 (why GRAN stops at 2 hops)",
+            ["factor n", "product n", "lifted valid up to k", "violates k=3"],
+            rows,
+        )
+    )

@@ -1,0 +1,85 @@
+"""Experiment R2 — MIS ∈ GRAN, randomized vs color-greedy deterministic.
+
+The paper's motivating example: MIS is solvable anonymously only with
+randomness — or deterministically once a 2-hop coloring is available.
+This bench compares the randomized anonymous MIS against the
+deterministic greedy-by-color baseline (which consumes a coloring) on
+the same instances: round counts and MIS sizes.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.greedy_by_color import GreedyMISByColor
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.analysis.stats import RunStats, aggregate
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.graphs.builders import (
+    cycle_graph,
+    petersen_graph,
+    random_connected_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.problems.mis import MISProblem
+from repro.runtime.simulation import run_deterministic, run_randomized
+
+PROBLEM = MISProblem()
+SEEDS = range(5)
+
+
+def cases():
+    for n in (8, 16, 32):
+        yield f"cycle-{n}", with_uniform_input(cycle_graph(n))
+    yield "petersen", with_uniform_input(petersen_graph())
+    for n in (16, 32):
+        yield f"random-{n}", with_uniform_input(random_connected_graph(n, 0.15, seed=n))
+
+
+def test_mis_randomized_vs_greedy(report, benchmark):
+    case_list = list(cases())
+
+    def run():
+        results = []
+        for name, graph in case_list:
+            randomized_runs, mis_sizes = [], []
+            for seed in SEEDS:
+                result = run_randomized(AnonymousMISAlgorithm(), graph, seed=seed)
+                assert PROBLEM.is_valid_output(graph, result.outputs)
+                randomized_runs.append(RunStats.of(graph, result, 1))
+                mis_sizes.append(sum(result.outputs.values()))
+            colored = apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+            greedy = run_deterministic(GreedyMISByColor(), colored)
+            assert PROBLEM.is_valid_output(graph, greedy.outputs)
+            results.append(
+                (name, graph, aggregate(randomized_runs), mis_sizes, greedy)
+            )
+        return results
+
+    rows = []
+    for name, graph, agg, mis_sizes, greedy in benchmark.pedantic(run, rounds=1):
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "n": graph.num_nodes,
+                    "rand rounds": agg.mean_rounds,
+                    "greedy rounds": greedy.rounds,
+                    "rand |MIS|": sum(mis_sizes) / len(mis_sizes),
+                    "greedy |MIS|": sum(greedy.outputs.values()),
+                },
+            )
+        )
+    report(
+        format_table(
+            "R2 — anonymous randomized MIS vs deterministic greedy-by-color "
+            "(both validated)",
+            ["n", "rand rounds", "greedy rounds", "rand |MIS|", "greedy |MIS|"],
+            rows,
+        )
+    )
+
+
+def test_mis_single_run_benchmark(benchmark):
+    g = with_uniform_input(cycle_graph(32))
+    result = benchmark(lambda: run_randomized(AnonymousMISAlgorithm(), g, seed=3))
+    assert result.all_decided

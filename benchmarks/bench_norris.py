@@ -1,0 +1,65 @@
+"""Experiment T3 — Theorem 3 (Norris): L_n determines L_∞.
+
+Measures the view-refinement stabilization depth across graph families
+and confirms the paper's bound (depth at most n).  The table also shows
+how far below the bound typical graphs sit — the quantity the A_*
+machinery implicitly pays for.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import SweepRow, format_table, standard_families
+from repro.graphs.builders import cycle_graph, path_graph, with_uniform_input
+from repro.views.refinement import color_refinement, stabilization_depth
+
+
+def test_norris_bound_sweep(report, benchmark):
+    cases = list(standard_families(sizes=(4, 6, 8, 12), include_random=True))
+
+    def run():
+        return [(name, graph, stabilization_depth(graph)) for name, graph in cases]
+
+    rows = []
+    for name, graph, depth in benchmark.pedantic(run, rounds=1):
+        n = graph.num_nodes
+        assert depth <= n, f"Norris bound violated on {name}"
+        rows.append(
+            SweepRow(name, {"n": n, "stab depth": depth, "bound n": n, "slack": n - depth})
+        )
+    report(
+        format_table(
+            "Theorem 3 (Norris) — view stabilization depth vs the bound n",
+            ["n", "stab depth", "bound n", "slack"],
+            rows,
+        )
+    )
+
+
+def test_worst_case_family_paths(report, benchmark):
+    """Uniform paths stabilize slowly (refinement creeps inward from the
+    ends): the family that approaches the Norris bound."""
+
+    def run():
+        return [
+            (n, stabilization_depth(with_uniform_input(path_graph(n))))
+            for n in (4, 8, 12, 16, 20)
+        ]
+
+    rows = []
+    for n, depth in benchmark.pedantic(run, rounds=1):
+        assert depth <= n
+        assert depth >= n // 2 - 1  # paths genuinely need deep views
+        rows.append(SweepRow(f"path-{n}", {"n": n, "stab depth": depth}))
+    report(
+        format_table(
+            "Theorem 3 — uniform paths approach the Norris bound",
+            ["n", "stab depth"],
+            rows,
+        )
+    )
+
+
+def test_refinement_benchmark(benchmark):
+    g = with_uniform_input(path_graph(64))
+    result = benchmark(lambda: color_refinement(g))
+    assert result.num_classes == 32

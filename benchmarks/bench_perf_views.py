@@ -1,0 +1,83 @@
+"""Experiment PERF — scaling of the proof machinery's primitives.
+
+Measures the costs the theory leaves implicit: explicit view
+construction (exponential expanded size, near-linear shared size),
+color refinement, quotient construction, and canonical encodings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.core.orders import canonical_node_order, finite_view_graph_sort_key
+from repro.factor.quotient import finite_view_graph
+from repro.graphs.builders import cycle_graph, random_connected_graph, with_uniform_input
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.views.local_views import all_views
+from repro.views.refinement import color_refinement
+
+
+def colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_view_construction_scaling(n, benchmark):
+    g = with_uniform_input(cycle_graph(n))
+    views = benchmark(lambda: all_views(g, n))
+    assert len(views) == n
+
+
+@pytest.mark.parametrize("n", [16, 64, 128])
+def test_refinement_scaling(n, benchmark):
+    g = with_uniform_input(random_connected_graph(n, 0.1, seed=n))
+    result = benchmark(lambda: color_refinement(g))
+    assert result.num_classes >= 1
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_quotient_scaling(n, benchmark):
+    g = colored(with_uniform_input(random_connected_graph(n, 0.15, seed=n)))
+    result = benchmark(lambda: finite_view_graph(g))
+    assert result.graph.num_nodes <= n
+
+
+def test_canonical_encoding_benchmark(benchmark):
+    g = colored(with_uniform_input(random_connected_graph(12, 0.2, seed=5)))
+    key = benchmark(lambda: finite_view_graph_sort_key(finite_view_graph(g).graph))
+    assert key[0] <= 12
+
+
+def test_view_sharing_report(report, benchmark):
+    """Expanded view size vs distinct interned subtrees: hash-consing is
+    what keeps deep views affordable."""
+
+    def run():
+        rows = []
+        for n in (8, 16, 24):
+            g = with_uniform_input(cycle_graph(n))
+            views = all_views(g, n)
+            distinct: set = set()
+            for tree in views.values():
+                distinct.update(id(subtree) for subtree in tree.subtrees())
+            expanded = max(t.size for t in views.values())
+            rows.append(
+                SweepRow(
+                    f"cycle-{n} depth-{n}",
+                    {
+                        "expanded size": expanded,
+                        "distinct shared trees": len(distinct),
+                    },
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        format_table(
+            "PERF — exponential expanded views vs shared (interned) trees",
+            ["expanded size", "distinct shared trees"],
+            rows,
+        )
+    )

@@ -1,0 +1,124 @@
+"""Experiment PORTS — "port numbers can be emulated" (Section 1.3).
+
+Runs a port-sensitive algorithm natively in the port-numbering model and
+under the broadcast + 2-hop-color emulation, confirming identical
+outputs at a one-round overhead, and benchmarks the emulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.graphs.builders import cycle_graph, path_graph, star_graph, with_uniform_input
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation, PortScheduler
+from repro.runtime.scheduler import SynchronousScheduler
+from repro.runtime.tape import FixedTape
+
+
+def colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+@dataclass(frozen=True)
+class _State:
+    ledger: Tuple
+    round_number: int
+
+
+class PortLedger(PortAwareAlgorithm):
+    """Records, per round, which payload arrived on which port."""
+
+    bits_per_round = 0
+    name = "port-ledger"
+
+    def __init__(self, rounds_needed: int = 3) -> None:
+        self.rounds_needed = rounds_needed
+
+    def init_state(self, input_label, degree: int):
+        return _State(ledger=(), round_number=0)
+
+    def messages(self, state: _State, degree: int):
+        return [(state.round_number, port) for port in range(degree)]
+
+    def transition(self, state: _State, received, bits: str):
+        return _State(
+            ledger=state.ledger + (tuple(enumerate(received)),),
+            round_number=state.round_number + 1,
+        )
+
+    def output(self, state: _State):
+        return state.ledger if state.round_number >= self.rounds_needed else None
+
+
+def _color_order_ports(graph):
+    def key(u):
+        c = graph.label_of(u, "color")
+        return (type(c).__name__, repr(c))
+
+    return graph.with_ports(
+        {v: sorted(graph.neighbors(v), key=key) for v in graph.nodes}
+    )
+
+
+def test_port_emulation_equivalence(report, benchmark):
+    cases = [
+        ("path-5", colored(with_uniform_input(path_graph(5)))),
+        ("cycle-6", colored(with_uniform_input(cycle_graph(6)))),
+        ("star-5", colored(with_uniform_input(star_graph(5)))),
+    ]
+
+    def run():
+        results = []
+        for name, graph in cases:
+            inner = PortLedger(rounds_needed=3)
+            native = PortScheduler(
+                inner,
+                _color_order_ports(graph),
+                {v: FixedTape("") for v in graph.nodes},
+            ).run(max_rounds=10)
+            emulated = SynchronousScheduler(
+                PortEmulation(inner),
+                graph,
+                {v: FixedTape("") for v in graph.nodes},
+            ).run(max_rounds=10)
+            results.append((name, native, emulated))
+        return results
+
+    rows = []
+    for name, native, emulated in benchmark.pedantic(run, rounds=1):
+        assert native.outputs == emulated.outputs
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "native rounds": native.rounds,
+                    "emulated rounds": emulated.rounds,
+                    "overhead": emulated.rounds - native.rounds,
+                    "outputs equal": native.outputs == emulated.outputs,
+                },
+            )
+        )
+    report(
+        format_table(
+            "PORTS — port-numbering emulated over broadcast + 2-hop colors "
+            "(identical outputs, one hello-round overhead)",
+            ["native rounds", "emulated rounds", "overhead", "outputs equal"],
+            rows,
+        )
+    )
+
+
+def test_emulation_round_benchmark(benchmark):
+    graph = colored(with_uniform_input(cycle_graph(16)))
+    inner = PortLedger(rounds_needed=5)
+
+    def run():
+        return SynchronousScheduler(
+            PortEmulation(inner), graph, {v: FixedTape("") for v in graph.nodes}
+        ).run(max_rounds=10)
+
+    result = benchmark(run)
+    assert result.all_decided

@@ -1,0 +1,84 @@
+"""Experiment R1 — the generic randomized preprocessing stage.
+
+Measures the randomized anonymous 2-hop coloring algorithm: rounds, bits
+and color-length statistics across graph families and sizes, averaged
+over seeds.  This is the cost of the "randomization" side of the
+paper's equation.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.analysis.stats import RunStats, aggregate
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    random_connected_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import is_two_hop_coloring
+from repro.runtime.simulation import run_randomized
+
+SEEDS = range(5)
+
+
+def cases():
+    for n in (4, 8, 16, 32):
+        yield f"cycle-{n}", with_uniform_input(cycle_graph(n))
+    for n in (4, 6, 8):
+        yield f"complete-{n}", with_uniform_input(complete_graph(n))
+    for n in (8, 16, 32):
+        yield f"random-{n}", with_uniform_input(
+            random_connected_graph(n, 0.2, seed=n)
+        )
+
+
+def test_two_hop_coloring_sweep(report, benchmark):
+    algorithm = TwoHopColoringAlgorithm()
+    case_list = list(cases())
+
+    def run():
+        results = []
+        for name, graph in case_list:
+            runs = []
+            max_color_len = 0
+            for seed in SEEDS:
+                result = run_randomized(algorithm, graph, seed=seed)
+                assert is_two_hop_coloring(graph, result.outputs)
+                runs.append(RunStats.of(graph, result, algorithm.bits_per_round))
+                max_color_len = max(
+                    max_color_len, max(len(c) for c in result.outputs.values())
+                )
+            results.append((name, graph, aggregate(runs), max_color_len))
+        return results
+
+    rows = []
+    for name, graph, agg, max_color_len in benchmark.pedantic(run, rounds=1):
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "n": graph.num_nodes,
+                    "mean rounds": agg.mean_rounds,
+                    "max rounds": agg.max_rounds,
+                    "mean bits": agg.mean_bits,
+                    "max color len": max_color_len,
+                },
+            )
+        )
+    report(
+        format_table(
+            "R1 — randomized anonymous 2-hop coloring "
+            f"(validated, {len(list(SEEDS))} seeds each)",
+            ["n", "mean rounds", "max rounds", "mean bits", "max color len"],
+            rows,
+        )
+    )
+
+
+def test_two_hop_coloring_single_run_benchmark(benchmark):
+    g = with_uniform_input(cycle_graph(32))
+    algorithm = TwoHopColoringAlgorithm()
+    result = benchmark(lambda: run_randomized(algorithm, g, seed=1))
+    assert result.all_decided

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Each ``bench_*`` module regenerates one paper artifact (figure, theorem
+or lemma — see DESIGN.md's experiment index) as a plain-text table
+printed on stdout (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them) and measures the cost of the underlying machinery via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.lifts import cyclic_lift
+
+
+def colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def lifted_colored_c3(fiber: int):
+    """The Figure 2 family: a 2-hop colored C3 and its cyclic lifts."""
+    base = colored(with_uniform_input(cycle_graph(3)))
+    lift, projection = cyclic_lift(base, fiber)
+    return base, lift, projection
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print an experiment table at the end of the run (works without -s)."""
+
+    tables = []
+
+    def add(table: str) -> None:
+        tables.append(table)
+
+    yield add
+    if tables:
+        capmanager = request.config.pluginmanager.getplugin("capturemanager")
+        with capmanager.global_and_fixture_disabled():
+            print()
+            for table in tables:
+                print(table)
+                print()

@@ -1,0 +1,66 @@
+"""Explorer for factors, products and prime factors of labeled graphs.
+
+Walks through the paper's Section 2.3.1 machinery interactively-ish:
+builds the Figure 2 tower, enumerates all factors of small graphs,
+contrasts the unique prime factor of 2-hop colored graphs (Lemma 3) with
+the uncolored 12-cycle's two prime factors, and shows the finite view
+graph as the canonical representative.
+
+Run:  python examples/prime_factor_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import cycle_graph, with_uniform_input
+from repro.factor.prime import all_factors, is_prime, prime_factors
+from repro.factor.quotient import finite_view_graph
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.lifts import cyclic_lift
+
+
+def describe_factors(name: str, graph) -> None:
+    factors = all_factors(graph, include_trivial=True)
+    primes = prime_factors(graph)
+    print(f"{name}: n={graph.num_nodes}, prime={is_prime(graph)}")
+    sizes = sorted({fm.factor.num_nodes for fm in factors})
+    print(f"  factor sizes: {sizes}")
+    print(f"  prime factors (up to isomorphism): "
+          f"{sorted(p.num_nodes for p in primes)}")
+
+
+def main() -> None:
+    print("=== uncolored cycles (the paper's counterexample) ===")
+    describe_factors("C6 ", with_uniform_input(cycle_graph(6)))
+    describe_factors("C12", with_uniform_input(cycle_graph(12)))
+    print("  -> C12 has TWO prime factors (C3 and C4): without a 2-hop")
+    print("     coloring, prime factorization is not unique.\n")
+
+    print("=== the 2-hop colored tower of Figure 2 ===")
+    base = with_uniform_input(cycle_graph(3))
+    base = apply_two_hop_coloring(base, greedy_two_hop_coloring(base))
+    for fiber in (2, 4):
+        lift, _ = cyclic_lift(base, fiber)
+        describe_factors(f"colored C{3 * fiber}", lift)
+        quotient = finite_view_graph(lift)
+        print(
+            f"  finite view graph: {quotient.graph.num_nodes} nodes; "
+            f"isomorphic to the colored C3 base: "
+            f"{are_isomorphic(quotient.graph, base)}"
+        )
+    print("  -> with a 2-hop coloring the prime factor is unique (Lemma 3)")
+    print("     and equals the infinite view graph.\n")
+
+    print("=== node aliases in a prime graph (Lemma 4 / Corollary 1) ===")
+    quotient = finite_view_graph(cyclic_lift(base, 4)[0])
+    assert quotient.views is not None
+    for node_id, view_tree in sorted(quotient.views.items()):
+        print(
+            f"  quotient node {node_id}: alias view depth={view_tree.depth}, "
+            f"expanded size={view_tree.size}, mark={view_tree.mark!r}"
+        )
+    print("  distinct aliases:", len({id(t) for t in quotient.views.values()}))
+
+
+if __name__ == "__main__":
+    main()

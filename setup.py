@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments lacking the ``wheel`` package (legacy ``pip install -e .
+--no-use-pep517`` path).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

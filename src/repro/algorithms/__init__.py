@@ -1,0 +1,55 @@
+"""Anonymous algorithms: the randomized solvers the paper derandomizes,
+plus deterministic baselines and deciders.
+
+All randomized algorithms here share one design: every node grows a
+random bitstring (one bit per round) and compares it against the *stale*
+bitstrings it hears from its neighborhood.  Because bitstrings only ever
+extend, a visible prefix divergence is permanent — which is what lets
+nodes commit irrevocable outputs safely while information is one or two
+rounds out of date.  All are Las-Vegas: outputs are valid with
+probability 1 and termination has probability 1.
+"""
+
+from repro.algorithms.bitstrings import (
+    bitstring_order_key,
+    diverged,
+    prefix_related,
+    stream_greater,
+)
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.algorithms.vertex_coloring import VertexColoringAlgorithm
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.algorithms.matching import AnonymousMatchingAlgorithm
+from repro.algorithms.greedy_by_color import GreedyMISByColor, GreedyColoringByColor
+from repro.algorithms.deciders import (
+    WellFormedInputDecider,
+    TwoHopColoringDecider,
+)
+from repro.algorithms.monte_carlo_election import (
+    MonteCarloElection,
+    failure_probability_bound,
+)
+from repro.algorithms.color_reduction import TwoHopColorReduction
+from repro.algorithms.bfs_tree import BFSTreeProblem, LeaderBFSTree
+from repro.algorithms.local_election import TwoLocalElection
+
+__all__ = [
+    "TwoLocalElection",
+    "TwoHopColorReduction",
+    "BFSTreeProblem",
+    "LeaderBFSTree",
+    "MonteCarloElection",
+    "failure_probability_bound",
+    "bitstring_order_key",
+    "diverged",
+    "prefix_related",
+    "stream_greater",
+    "TwoHopColoringAlgorithm",
+    "VertexColoringAlgorithm",
+    "AnonymousMISAlgorithm",
+    "AnonymousMatchingAlgorithm",
+    "GreedyMISByColor",
+    "GreedyColoringByColor",
+    "WellFormedInputDecider",
+    "TwoHopColoringDecider",
+]

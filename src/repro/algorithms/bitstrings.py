@@ -1,0 +1,50 @@
+"""Bitstring comparison helpers shared by the randomized algorithms.
+
+Every randomized algorithm in this package grows a per-node bitstring by
+one random bit per round.  The three predicates here capture the safety
+reasoning:
+
+* :func:`prefix_related` — one string is a prefix of the other (possibly
+  equal).  While two nodes' visible strings are prefix-related their
+  future values may still collide; any commitment must wait.
+* :func:`diverged` — the strings differ at some position both possess.
+  Extension never erases a divergence, so a visible divergence is a
+  *permanent* distinction between the two nodes' streams.
+* :func:`stream_greater` — once diverged, the first differing bit orders
+  the two infinite streams for good; this is the comparison the MIS
+  algorithm uses for its join rule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def prefix_related(a: str, b: str) -> bool:
+    """Whether one bitstring is a prefix of the other (equality included)."""
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    return longer.startswith(shorter)
+
+
+def diverged(a: str, b: str) -> bool:
+    """Whether the strings differ at a position both have — a permanent
+    distinction under extension."""
+    return not prefix_related(a, b)
+
+
+def stream_greater(a: str, b: str) -> bool:
+    """Whether stream ``a`` is greater than stream ``b`` at their first
+    visible difference.  Only meaningful when ``diverged(a, b)``."""
+    if not diverged(a, b):
+        raise ValueError(
+            f"streams {a!r} and {b!r} are prefix-related; their order is undetermined"
+        )
+    for bit_a, bit_b in zip(a, b):
+        if bit_a != bit_b:
+            return bit_a > bit_b
+    raise AssertionError("unreachable: diverged strings differ within the overlap")
+
+
+def bitstring_order_key(s: str) -> Tuple[int, str]:
+    """The paper's bitstring order: by length first, then lexicographic."""
+    return (len(s), s)

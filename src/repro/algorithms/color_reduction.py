@@ -1,0 +1,105 @@
+"""Deterministic distance-2 color reduction.
+
+The randomized 2-hop coloring outputs bitstrings whose length grows with
+the run; applications (e.g. radio frequency assignment) want colors from
+a small fixed palette.  Given *any* 2-hop coloring, this deterministic
+anonymous algorithm re-colors greedily in color order so that the result
+is again a 2-hop coloring but uses at most ``Δ² + 1`` integer colors —
+the distance-2 analogue of the classic greedy palette reduction.
+
+Round structure (broadcast): each round every node sends its original
+color, its decision (new color or ``None``), and the decisions it heard
+last round (so decisions propagate 2 hops).  A node decides once every
+2-hop neighbor with a smaller original color has decided, picking the
+smallest integer unused within its 2-hop neighborhood.  Original colors
+are distinct within 2 hops, so "smaller" is well-defined and some
+undecided node is always locally minimal — termination in at most
+``2n`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.runtime.algorithm import AnonymousAlgorithm
+
+
+def _color_key(color) -> Tuple[int, str]:
+    text = color if isinstance(color, str) else repr(color)
+    return (len(text), text)
+
+
+@dataclass(frozen=True)
+class _State:
+    original: object
+    decision: Optional[int]
+    # (original color, decision) pairs heard in the previous round —
+    # re-broadcast so 2-hop neighbors see them one round later.
+    heard: Tuple
+    round_number: int
+
+
+class TwoHopColorReduction(AnonymousAlgorithm):
+    """Reduce a 2-hop coloring to at most ``Δ² + 1`` integer colors.
+
+    Expects the composed node label ``(input_label, color)`` (layers
+    ``input`` then ``color``) where the color layer is a valid 2-hop
+    coloring.  Outputs integers forming a 2-hop coloring.
+    """
+
+    bits_per_round = 0
+    name = "two-hop-color-reduction"
+
+    def init_state(self, input_label, degree: int) -> _State:
+        _input, color = input_label
+        return _State(original=color, decision=None, heard=(), round_number=0)
+
+    def message(self, state: _State):
+        return (state.original, state.decision, state.heard)
+
+    def transition(self, state: _State, received, bits: str) -> _State:
+        round_number = state.round_number + 1
+        heard_now = tuple((orig, dec) for (orig, dec, _lists) in received)
+        if state.decision is not None:
+            return replace(state, heard=heard_now, round_number=round_number)
+
+        # My 2-hop picture: direct neighbors (fresh) + their neighbors
+        # (one round stale).  The stale lists include my own echo; unlike
+        # conflict detection, the echo is harmless here — my own original
+        # color is never smaller than itself and my decision is None.
+        entries: Dict[str, Tuple] = {}
+        for (orig, dec, list_u) in received:
+            entries[repr(orig)] = (orig, dec)
+            for (orig_w, dec_w) in list_u:
+                if repr(orig_w) != repr(state.original):
+                    # Keep the freshest seen decision per original color.
+                    existing = entries.get(repr(orig_w))
+                    if existing is None or (existing[1] is None and dec_w is not None):
+                        entries[repr(orig_w)] = (orig_w, dec_w)
+
+        # Wait until full 2-hop info has flowed in (two rounds).
+        if round_number < 3:
+            return replace(state, heard=heard_now, round_number=round_number)
+
+        my_key = _color_key(state.original)
+        undecided_smaller = [
+            orig
+            for (orig, dec) in entries.values()
+            if dec is None and _color_key(orig) < my_key
+        ]
+        if undecided_smaller:
+            return replace(state, heard=heard_now, round_number=round_number)
+        taken = {dec for (_orig, dec) in entries.values() if dec is not None}
+        choice = 0
+        while choice in taken:
+            choice += 1
+        return _State(
+            original=state.original,
+            decision=choice,
+            heard=heard_now,
+            round_number=round_number,
+        )
+
+    def output(self, state: _State) -> Optional[int]:
+        return state.decision

@@ -1,0 +1,138 @@
+"""Randomized k-local election (k ∈ {1, 2}).
+
+The paper's related work cites Métivier-Saheb-Zemmari's *k-local
+elections*: a node should become a leader that is unique within distance
+``k`` — global uniqueness is unattainable anonymously, local uniqueness
+is exactly what randomness can buy.  A 1-local leader set is an MIS; a
+2-local leader set is an independent set whose members are pairwise more
+than 2 hops apart and dominating within 2 hops — structurally the same
+cut that makes 2-hop *coloring* the paper's boundary.
+
+Implementation: the priority-stream machinery of the MIS algorithm,
+widened to radius 2 by relaying neighbor priorities (exactly like the
+2-hop coloring algorithm relays colors).  Outputs ``True`` for k-local
+leaders, ``False`` otherwise.  For ``k = 1`` this *is* the MIS
+algorithm; the class exists for the ``k = 2`` case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.algorithms.bitstrings import diverged, stream_greater
+from repro.runtime.algorithm import AnonymousAlgorithm
+
+ACTIVE = "ACTIVE"
+LEADER = "LEADER"
+DOMINATED = "DOMINATED"
+
+Entry = Tuple[str, str]  # (status, priority)
+
+
+@dataclass(frozen=True)
+class _State:
+    status: str
+    priority: str
+    prev_entry: Entry
+    heard: Tuple[Entry, ...]
+    round_number: int
+
+
+class TwoLocalElection(AnonymousAlgorithm):
+    """Las-Vegas 2-local election: leaders are unique within 2 hops and
+    every node is within 2 hops of a leader.
+
+    Output: ``True`` (2-local leader) or ``False``.
+    """
+
+    bits_per_round = 1
+    name = "two-local-election"
+
+    _FIRST_DECISION_ROUND = 3
+
+    def init_state(self, input_label, degree: int) -> _State:
+        return _State(
+            status=ACTIVE,
+            priority="",
+            prev_entry=("", ACTIVE),
+            heard=(),
+            round_number=0,
+        )
+
+    def message(self, state: _State):
+        return (state.status, state.priority, state.heard)
+
+    def transition(self, state: _State, received, bits: str) -> _State:
+        round_number = state.round_number + 1
+        heard_now: Tuple[Entry, ...] = tuple(
+            (priority, status) for (status, priority, _lists) in received
+        )
+        if state.status != ACTIVE:
+            return replace(
+                state,
+                round_number=round_number,
+                prev_entry=(state.priority, state.status),
+                heard=heard_now,
+            )
+
+        # A LEADER within 2 hops dominates me.
+        two_hop_entries = self._two_hop_entries(state, received)
+        if any(status == LEADER for (_priority, status) in two_hop_entries):
+            return _State(
+                status=DOMINATED,
+                priority=state.priority,
+                prev_entry=(state.priority, ACTIVE),
+                heard=heard_now,
+                round_number=round_number,
+            )
+
+        active_entries = [
+            priority for (priority, status) in two_hop_entries if status == ACTIVE
+        ]
+        dominates = all(
+            diverged(state.priority, other)
+            and stream_greater(state.priority, other)
+            for other in active_entries
+        )
+        if dominates and round_number >= self._FIRST_DECISION_ROUND:
+            return _State(
+                status=LEADER,
+                priority=state.priority,
+                prev_entry=(state.priority, ACTIVE),
+                heard=heard_now,
+                round_number=round_number,
+            )
+        return _State(
+            status=ACTIVE,
+            priority=state.priority + bits,
+            prev_entry=(state.priority, ACTIVE),
+            heard=heard_now,
+            round_number=round_number,
+        )
+
+    def output(self, state: _State) -> Optional[bool]:
+        if state.status == LEADER:
+            return True
+        if state.status == DOMINATED:
+            return False
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _two_hop_entries(self, state: _State, received):
+        """All (priority, status) entries within 2 hops, my own echo
+        removed once per neighbor list (as in the coloring algorithm)."""
+        entries = []
+        for (status_u, priority_u, list_u) in received:
+            entries.append((priority_u, status_u))
+            relayed = list(list_u)
+            if relayed:
+                try:
+                    relayed.remove(state.prev_entry)
+                except ValueError as exc:
+                    raise AssertionError(
+                        "own echo missing from a neighbor list"
+                    ) from exc
+            entries.extend(relayed)
+        return entries

@@ -1,0 +1,203 @@
+"""Randomized anonymous maximal matching.
+
+Broadcast-only matching must solve an addressing problem: a proposal
+cannot name its target.  The paper's remark that "by including the
+sender's color in every message missing port numbers can be emulated"
+is realized here with *growing random tokens* in place of colors:
+
+* every active node grows a random token (one bit per round) and
+  broadcasts ``(status, token, proposal)``;
+* a node proposes only when the tokens of all its active neighbors are
+  visibly pairwise diverged and diverged from its own — from then on
+  prefixes identify neighbors unambiguously and permanently;
+* the proposal value is the (stale) token of the chosen target: the
+  maximum active-neighbor token stream.  Because stream order is stable
+  and candidate sets only shrink (matched neighbors leave), a proposal
+  only ever moves to smaller streams, and once two nodes target each
+  other they are locked;
+* on seeing mutual proposals a node freezes its token (``PENDING``) and
+  waits for the partner's frozen token, then outputs
+  ``("matched", own_token, partner_token)`` — the reciprocal pair the
+  validity checker of
+  :class:`~repro.problems.matching.MaximalMatchingProblem` verifies;
+* a node outputs ``("unmatched",)`` once it has no possible partner
+  left: every neighbor is matched or pending with someone else.
+
+Progress: once tokens have pairwise diverged (probability 1), the
+globally maximal active token and its maximal active neighbor propose
+to each other and match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.algorithms.bitstrings import diverged, prefix_related, stream_greater
+from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.problems.matching import MATCHED, UNMATCHED
+
+ACTIVE = "ACTIVE"
+PENDING = "PENDING"
+
+
+@dataclass(frozen=True)
+class _State:
+    status: str
+    token: str
+    proposal: Optional[str]
+    output: Optional[Tuple]
+    round_number: int
+
+
+class AnonymousMatchingAlgorithm(AnonymousAlgorithm):
+    """Las-Vegas anonymous maximal matching with token-pair outputs."""
+
+    bits_per_round = 1
+    name = "anonymous-matching"
+
+    _FIRST_DECISION_ROUND = 2
+
+    def init_state(self, input_label, degree: int) -> _State:
+        return _State(
+            status=ACTIVE, token="", proposal=None, output=None, round_number=0
+        )
+
+    def message(self, state: _State):
+        return (state.status, state.token, state.proposal)
+
+    def output(self, state: _State) -> Optional[Tuple]:
+        return state.output
+
+    # ------------------------------------------------------------------
+
+    def transition(self, state: _State, received, bits: str) -> _State:
+        round_number = state.round_number + 1
+        if state.status in (MATCHED, UNMATCHED):
+            return replace(state, round_number=round_number)
+
+        if state.status == PENDING:
+            return self._pending_step(state, received, round_number)
+        return self._active_step(state, received, bits, round_number)
+
+    # ------------------------------------------------------------------
+
+    def _pending_step(self, state: _State, received, round_number: int) -> _State:
+        # The partner's token is frozen once it is PENDING; it may already
+        # have moved on to MATCHED if it saw my PENDING message first.
+        partner = self._find_partner_entry(state, received)
+        if partner is not None and partner[0] in (PENDING, MATCHED):
+            _status, partner_token, _proposal = partner
+            return _State(
+                status=MATCHED,
+                token=state.token,
+                proposal=state.proposal,
+                output=(MATCHED, state.token, partner_token),
+                round_number=round_number,
+            )
+        return replace(state, round_number=round_number)
+
+    def _find_partner_entry(self, state: _State, received):
+        """The unique entry whose token extends my target prefix and whose
+        proposal is a prefix of my token — my handshake partner."""
+        assert state.proposal is not None
+        for entry in received:
+            status_u, token_u, proposal_u = entry
+            if status_u not in (ACTIVE, PENDING, MATCHED):
+                continue
+            if proposal_u is None:
+                continue
+            if prefix_related(state.proposal, token_u) and len(
+                state.proposal
+            ) <= len(token_u):
+                if prefix_related(proposal_u, state.token) and len(proposal_u) <= len(
+                    state.token
+                ):
+                    return entry
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _active_step(self, state: _State, received, bits: str, round_number: int) -> _State:
+        # Partition the neighborhood by status.
+        candidates = []  # tokens of neighbors I could still match with
+        blocked = False  # some neighbor is still potentially available
+        for (status_u, token_u, proposal_u) in received:
+            if status_u == ACTIVE:
+                candidates.append(token_u)
+            elif status_u == PENDING:
+                # Pending toward me: still my candidate.  Pending toward
+                # another node: will become matched, not a candidate.
+                if proposal_u is not None and len(proposal_u) <= len(
+                    state.token
+                ) and prefix_related(proposal_u, state.token):
+                    candidates.append(token_u)
+
+        if not candidates and round_number >= self._FIRST_DECISION_ROUND:
+            if not received or all(
+                status_u in (MATCHED, UNMATCHED, PENDING) for (status_u, _t, _p) in received
+            ):
+                return _State(
+                    status=UNMATCHED,
+                    token=state.token,
+                    proposal=None,
+                    output=(UNMATCHED,),
+                    round_number=round_number,
+                )
+
+        # Propose only when every candidate has visibly diverged from me
+        # and candidates are pairwise visibly diverged — from then on
+        # token prefixes are unambiguous addresses.
+        can_propose = bool(candidates) and all(
+            diverged(state.token, other) for other in candidates
+        )
+        if can_propose:
+            for i, a in enumerate(candidates):
+                for b in candidates[i + 1 :]:
+                    if not diverged(a, b):
+                        can_propose = False
+                        break
+                if not can_propose:
+                    break
+
+        proposal: Optional[str] = None
+        if can_propose:
+            target = candidates[0]
+            for other in candidates[1:]:
+                if stream_greater(other, target):
+                    target = other
+            proposal = target
+
+        if proposal is not None:
+            # Mutuality check uses my *current* (this round's) target.  The
+            # partner's proposal toward me is enough: its target is locked
+            # on me (I am its maximal candidate and I only leave its
+            # candidate set by matching with it).
+            probe = replace(state, proposal=proposal)
+            partner = self._find_partner_entry(probe, received)
+            if partner is not None:
+                status_u, token_u, _proposal_u = partner
+                if status_u in (PENDING, MATCHED):
+                    # The partner's token is already frozen: match outright.
+                    return _State(
+                        status=MATCHED,
+                        token=state.token,
+                        proposal=token_u,
+                        output=(MATCHED, state.token, token_u),
+                        round_number=round_number,
+                    )
+                return _State(
+                    status=PENDING,
+                    token=state.token,  # frozen from now on
+                    proposal=token_u,  # freshest stale token of my partner
+                    output=None,
+                    round_number=round_number,
+                )
+
+        return _State(
+            status=ACTIVE,
+            token=state.token + bits,
+            proposal=proposal,
+            output=None,
+            round_number=round_number,
+        )

@@ -1,0 +1,105 @@
+"""Monte-Carlo leader election — the contrast class to Las-Vegas GRAN.
+
+Section 1.3 recalls that electing a leader *with a Monte-Carlo
+algorithm* (allowed to fail with small probability) is possible, and
+that with IDs / an elected leader everything solvable becomes solvable
+w.h.p.  This module implements the textbook construction so the
+reproduction can *measure* the Las-Vegas/Monte-Carlo gap:
+
+each node draws ``id_bits`` random bits as a tentative identifier and
+floods the maximum for ``n - 1`` rounds (the node count ``n`` comes from
+the input label — prior knowledge that election provably needs); the
+holder of the maximum elects itself.  The algorithm errs exactly when
+the maximum identifier collides, i.e. with probability at most
+``n^2 / 2^id_bits`` — the failure-rate experiment sweeps ``id_bits`` and
+observes that decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.problems.election import FOLLOWER, LEADER
+from repro.runtime.algorithm import AnonymousAlgorithm
+
+
+@dataclass(frozen=True)
+class _State:
+    n: int
+    my_id: Optional[str]
+    best: Optional[str]
+    round_number: int
+    output: Optional[str]
+
+
+class MonteCarloElection(AnonymousAlgorithm):
+    """Monte-Carlo election by random-ID max-flooding.
+
+    Input label must be ``(degree, n, ...)``.  Uses ``id_bits`` random
+    bits (drawn over the first ``ceil(id_bits / bits_per_round)``
+    rounds), then floods for ``n - 1`` rounds and decides.  Not
+    Las-Vegas: with probability ``<= n^2 / 2^id_bits`` two nodes share
+    the maximal ID and *both* elect themselves.
+    """
+
+    name = "monte-carlo-election"
+
+    def __init__(self, id_bits: int = 16) -> None:
+        if id_bits < 1:
+            raise ValueError(f"id_bits must be positive, got {id_bits}")
+        self.id_bits = id_bits
+        self.bits_per_round = id_bits  # draw the whole ID in round 1
+
+    def init_state(self, input_label, degree: int) -> _State:
+        # The composed label is a tuple of layer values; the input layer
+        # comes first and is itself the tuple (degree, n, ...).
+        n = input_label[0][1]
+        return _State(n=n, my_id=None, best=None, round_number=0, output=None)
+
+    def message(self, state: _State):
+        return state.best
+
+    def transition(self, state: _State, received, bits: str) -> _State:
+        round_number = state.round_number + 1
+        if state.output is not None:
+            return replace(state, round_number=round_number)
+        if state.my_id is None:
+            # Round 1: adopt the drawn ID; flooding starts next round.
+            return _State(
+                n=state.n,
+                my_id=bits,
+                best=bits,
+                round_number=round_number,
+                output=None,
+            )
+        best = state.best
+        for other in received:
+            if other is not None and other > best:
+                best = other
+        # Flooding rounds 2 .. n: after n - 1 exchanges the maximum has
+        # reached everyone (diameter <= n - 1).
+        if round_number >= state.n + 1 or state.n == 1:
+            verdict = LEADER if best == state.my_id else FOLLOWER
+            return _State(
+                n=state.n,
+                my_id=state.my_id,
+                best=best,
+                round_number=round_number,
+                output=verdict,
+            )
+        return _State(
+            n=state.n,
+            my_id=state.my_id,
+            best=best,
+            round_number=round_number,
+            output=None,
+        )
+
+    def output(self, state: _State) -> Optional[str]:
+        return state.output
+
+
+def failure_probability_bound(n: int, id_bits: int) -> float:
+    """The union bound ``n^2 / 2^id_bits`` on the collision probability."""
+    return min(1.0, n * n / float(2 ** id_bits))

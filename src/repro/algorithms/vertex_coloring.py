@@ -1,0 +1,71 @@
+"""Randomized anonymous (1-hop) vertex coloring.
+
+The 1-hop little sibling of
+:class:`~repro.algorithms.two_hop_coloring.TwoHopColoringAlgorithm`:
+colors only need to differ between *adjacent* nodes, so no neighbor
+lists are relayed — a node commits once every neighbor's (one round
+stale) color has visibly diverged from its own, by the same
+prefix-permanence argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.algorithms.bitstrings import prefix_related
+from repro.runtime.algorithm import AnonymousAlgorithm
+
+
+@dataclass(frozen=True)
+class _State:
+    color: str
+    committed: bool
+    output: Optional[str]
+    round_number: int
+
+
+class VertexColoringAlgorithm(AnonymousAlgorithm):
+    """Las-Vegas anonymous proper coloring (outputs are bitstring colors)."""
+
+    bits_per_round = 1
+    name = "vertex-coloring"
+
+    _FIRST_COMMIT_ROUND = 2
+
+    def init_state(self, input_label, degree: int) -> _State:
+        return _State(color="", committed=False, output=None, round_number=0)
+
+    def message(self, state: _State):
+        return (state.color, state.committed)
+
+    def transition(self, state: _State, received, bits: str) -> _State:
+        round_number = state.round_number + 1
+        if state.committed:
+            return replace(state, round_number=round_number)
+        conflict = any(
+            self._entry_conflicts(state.color, color_u, committed_u)
+            for (color_u, committed_u) in received
+        )
+        if not conflict and round_number >= self._FIRST_COMMIT_ROUND:
+            return _State(
+                color=state.color,
+                committed=True,
+                output=state.color,
+                round_number=round_number,
+            )
+        return _State(
+            color=state.color + bits,
+            committed=False,
+            output=None,
+            round_number=round_number,
+        )
+
+    def output(self, state: _State):
+        return state.output
+
+    @staticmethod
+    def _entry_conflicts(my_color: str, other_color: str, other_committed: bool) -> bool:
+        if other_committed:
+            return other_color == my_color
+        return prefix_related(my_color, other_color)

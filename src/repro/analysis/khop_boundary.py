@@ -1,0 +1,95 @@
+"""The k-hop coloring boundary: k = 2 is in GRAN, k > 2 is not.
+
+Section 1.2 notes that the 2-hop variant of coloring is solvable by
+randomized anonymous algorithms while every k-hop variant with ``k > 2``
+is not.  The obstruction is the lifting lemma: take a factor pair such
+as the uniform ``C3 ⪯ C6``; any Las-Vegas algorithm must succeed on the
+factor ``C3``, its successful execution lifts to ``C6`` with positive
+probability, and in the lifted execution antipodal nodes (distance 3)
+output the *same* color — violating 3-hop validity.  Crucially, the
+2-hop constraint survives lifting (fibers of a simple-quotient cover are
+never within 2 hops of themselves... they are at distance >= 3), which
+is exactly why the boundary sits at ``k = 2``.
+
+:func:`lifted_khop_violation` performs the construction for a concrete
+algorithm and reports at which ``k`` the lifted output breaks, letting
+the experiment sweep exhibit the boundary empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.factor.factorizing_map import FactorizingMap
+from repro.factor.lifting import lift_assignment
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.graphs.coloring import is_k_hop_coloring
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.runtime.simulation import run_randomized, simulate_with_assignment
+
+
+@dataclass(frozen=True)
+class KHopViolation:
+    """Outcome of lifting a coloring execution from a factor to a product.
+
+    ``valid_up_to`` is the largest ``k`` for which the lifted output is a
+    valid k-hop coloring of the product (0 if even 1-hop fails, which the
+    lifting lemma forbids for a correct algorithm).
+    """
+
+    factor_nodes: int
+    product_nodes: int
+    valid_up_to: int
+
+    def violates(self, k: int) -> bool:
+        return self.valid_up_to < k
+
+
+def uniform_cycle_cover(factor_size: int, multiplier: int) -> FactorizingMap:
+    """The uniform cycle cover ``C_factor ⪯ C_{factor*multiplier}`` with
+    the modular projection — the canonical lifting-lemma obstruction."""
+    factor = with_uniform_input(cycle_graph(factor_size))
+    product = with_uniform_input(cycle_graph(factor_size * multiplier))
+    mapping = {v: v % factor_size for v in product.nodes}
+    return FactorizingMap(product, factor, mapping)
+
+
+def lifted_khop_violation(
+    covering: FactorizingMap,
+    algorithm: Optional[AnonymousAlgorithm] = None,
+    seed: int = 0,
+    max_k: int = 6,
+) -> KHopViolation:
+    """Run a coloring algorithm on the factor, lift the execution to the
+    product, and measure up to which ``k`` the lifted coloring is valid.
+
+    For the 2-hop coloring algorithm on a cycle cover with fibers at
+    distance ``>= 3``, the lifted output stays a valid 2-hop coloring of
+    the product but collides at distance equal to the factor's size —
+    demonstrating why no Las-Vegas anonymous algorithm can promise k-hop
+    coloring for ``k > 2``.
+    """
+    if algorithm is None:
+        algorithm = TwoHopColoringAlgorithm()
+    factor_run = run_randomized(algorithm, covering.factor, seed=seed)
+    lifted = lift_assignment(factor_run.trace.assignment(), covering)
+    product_result = simulate_with_assignment(algorithm, covering.product, lifted)
+    if not product_result.successful:
+        raise AssertionError(
+            "lifted simulation was unsuccessful; the lifting lemma is broken"
+        )
+    outputs: Dict = product_result.outputs
+    valid_up_to = 0
+    for k in range(1, max_k + 1):
+        if is_k_hop_coloring(covering.product, outputs, k):
+            valid_up_to = k
+        else:
+            break
+    return KHopViolation(
+        factor_nodes=covering.factor.num_nodes,
+        product_nodes=covering.product.num_nodes,
+        valid_up_to=valid_up_to,
+    )

@@ -1,0 +1,68 @@
+"""Human-readable rendering of executions and traces.
+
+Round-by-round tables of an execution's messages, bits and outputs —
+for debugging algorithms, for teaching, and for the examples.  Message
+payloads are abbreviated so tables stay scannable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.graphs.labeled_graph import _sort_key
+from repro.runtime.trace import ExecutionTrace
+
+
+def _abbreviate(value: Any, width: int = 18) -> str:
+    text = repr(value)
+    if len(text) <= width:
+        return text
+    return text[: width - 1] + "…"
+
+
+def render_trace(trace: ExecutionTrace, max_rounds: int | None = None) -> str:
+    """A table with one row per (round, node): message sent, bits drawn,
+    and the output if it became set that round."""
+    lines: List[str] = [f"execution of {trace.algorithm_name!r}"]
+    rounds = trace.rounds if max_rounds is None else trace.rounds[:max_rounds]
+    if not rounds:
+        lines.append("(no rounds executed)")
+        return "\n".join(lines)
+    nodes = sorted({v for record in rounds for v in record.sent}, key=_sort_key)
+    node_width = max(4, max(len(repr(v)) for v in nodes))
+    header = f"{'round':>5}  {'node':<{node_width}}  {'bits':<4}  {'sent':<20}  output"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for record in rounds:
+        for v in nodes:
+            if v not in record.sent:
+                continue
+            output = (
+                _abbreviate(record.new_outputs[v])
+                if v in record.new_outputs
+                else ""
+            )
+            lines.append(
+                f"{record.round_number:>5}  {repr(v):<{node_width}}  "
+                f"{record.bits.get(v, ''):<4}  "
+                f"{_abbreviate(record.sent[v], 20):<20}  {output}"
+            )
+    if max_rounds is not None and len(trace.rounds) > max_rounds:
+        lines.append(f"... ({len(trace.rounds) - max_rounds} more rounds)")
+    return "\n".join(lines)
+
+
+def render_output_timeline(trace: ExecutionTrace) -> str:
+    """One line per node: the round its irrevocable output was set."""
+    decided = []
+    for record in trace.rounds:
+        for v, value in record.new_outputs.items():
+            decided.append((record.round_number, v, value))
+    if not decided:
+        return "(no outputs set)"
+    lines = ["output timeline:"]
+    for round_number, v, value in sorted(
+        decided, key=lambda item: (item[0], _sort_key(item[1]))
+    ):
+        lines.append(f"  round {round_number:>3}: node {v!r} -> {_abbreviate(value, 40)}")
+    return "\n".join(lines)

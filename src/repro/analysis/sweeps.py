@@ -1,0 +1,96 @@
+"""Sweep helpers shared by the benchmark/experiment scripts.
+
+The benchmark suite reports its results as plain-text tables (this
+reproduction's analogue of the paper's figures); :func:`format_table`
+renders aligned columns and :func:`standard_families` yields the graph
+families every sweep covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+    torus_graph,
+    with_uniform_input,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+@dataclass
+class SweepRow:
+    """One row of an experiment table: a label plus named values."""
+
+    label: str
+    values: Dict[str, Any]
+
+
+def standard_families(
+    sizes: Sequence[int] = (4, 6, 8, 12),
+    include_random: bool = True,
+    seed: int = 7,
+) -> Iterator[Tuple[str, LabeledGraph]]:
+    """Yield ``(name, graph)`` pairs covering the standard sweep families,
+    each with a uniform well-formed input layer attached."""
+    for n in sizes:
+        if n >= 3:
+            yield f"cycle-{n}", with_uniform_input(cycle_graph(n))
+        yield f"path-{n}", with_uniform_input(path_graph(n))
+        yield f"complete-{n}", with_uniform_input(complete_graph(n))
+        yield f"star-{n}", with_uniform_input(star_graph(n - 1))
+    yield "hypercube-3", with_uniform_input(hypercube_graph(3))
+    yield "torus-3x3", with_uniform_input(torus_graph(3, 3))
+    yield "petersen", with_uniform_input(petersen_graph())
+    if include_random:
+        for n in sizes:
+            yield (
+                f"random-{n}",
+                with_uniform_input(random_connected_graph(n, 0.3, seed=seed + n)),
+            )
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Iterable[SweepRow]
+) -> str:
+    """Render a titled, aligned plain-text table."""
+    materialized = list(rows)
+    header = ["case"] + list(columns)
+    cells = [header]
+    for row in materialized:
+        cells.append(
+            [row.label] + [_fmt(row.values.get(col, "")) for col in columns]
+        )
+    widths = [max(len(line[i]) for line in cells) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for index, line in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def table_to_csv(columns: Sequence[str], rows: Iterable[SweepRow]) -> str:
+    """The same table as CSV text (``case`` first), for plotting tools."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["case"] + list(columns))
+    for row in rows:
+        writer.writerow([row.label] + [_fmt(row.values.get(col, "")) for col in columns])
+    return buffer.getvalue()

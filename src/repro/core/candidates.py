@@ -1,0 +1,200 @@
+"""Candidate enumeration for Update-Graph (Figure 3, conditions C1-C3).
+
+A *candidate for phase p* (as seen from a node with view
+``L = L_p(v, I^p)``) is a labeled graph ``Ĝ = (V̂, Ê, î, ĉ, b̂)`` with
+
+* C1: ``|V̂| <= p``;
+* C2: some node ``v̂ ∈ V̂`` has ``L_p(v̂, Ĝ) = L``;
+* C3: ``(V̂, Ê, î, ĉ)`` is an instance of Π^c.
+
+Two observations make brute-force enumeration sound and finite:
+
+* a candidate is connected with ``|V̂| <= p`` nodes, so its diameter is
+  below ``p`` and *every* candidate label occurs as a mark somewhere in
+  ``L`` — the label alphabet is the observed mark set;
+* the quotient of a candidate is itself a candidate with the same finite
+  view graph (Fact 1 + factor-closure of Π^c), so the minimum of the set
+  F is always attained by a candidate that is its own finite view graph.
+  Capping the enumerated node count at ``max_nodes`` therefore preserves
+  the selected minimum whenever the true selection has at most
+  ``max_nodes`` nodes — which Lemma 7 guarantees from phase ``2n`` on
+  for any cap ``>= n``.  (Early phases may select differently under a
+  cap; Lemma 9 shows A_*'s correctness never depends on those transient
+  selections.)
+
+Enumeration is *exponential* — that is the paper's construction, not an
+implementation accident — so everything is budget-guarded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CandidateError, FactorError, GraphError
+from repro.factor.quotient import finite_view_graph
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.problems.problem import DistributedProblem
+from repro.views.local_views import all_views
+from repro.views.view_tree import ViewTree
+from repro.core.orders import finite_view_graph_sort_key
+
+
+@dataclass
+class Candidate:
+    """One candidate graph with its finite view graph and anchor node.
+
+    ``anchor`` is the node ``v̂`` promised by C2; ``anchor_class`` is the
+    corresponding node ``v̊`` of the finite view graph.
+    """
+
+    graph: LabeledGraph
+    finite_view: LabeledGraph
+    anchor: Node
+    anchor_class: int
+    sort_key: Tuple[int, str]
+
+
+def observed_marks(view: ViewTree) -> List[Tuple]:
+    """The distinct marks appearing anywhere in a view, in a canonical
+    order — the complete label alphabet of any candidate."""
+    marks: Dict[str, Tuple] = {}
+    for subtree in view.subtrees():
+        marks.setdefault(repr(subtree.mark), subtree.mark)
+    return [marks[key] for key in sorted(marks)]
+
+
+def _connected_edge_sets(k: int) -> Iterator[List[Tuple[int, int]]]:
+    """All connected simple graphs on nodes ``0..k-1`` (as edge lists),
+    enumerated over subsets of the complete graph's edges."""
+    pairs = list(itertools.combinations(range(k), 2))
+    if k == 1:
+        yield []
+        return
+    for bits in range(1 << len(pairs)):
+        edges = [pairs[i] for i in range(len(pairs)) if bits >> i & 1]
+        if len(edges) < k - 1:
+            continue
+        if _edges_connected(k, edges):
+            yield edges
+
+
+def _edges_connected(k: int, edges: Sequence[Tuple[int, int]]) -> bool:
+    adjacency: Dict[int, List[int]] = {v: [] for v in range(k)}
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen = {0}
+    stack = [0]
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == k
+
+
+def enumerate_candidates(
+    view: ViewTree,
+    phase: int,
+    problem_c: DistributedProblem,
+    layer_names: Sequence[str],
+    max_nodes: int = 4,
+    budget: int = 200_000,
+) -> List[Candidate]:
+    """All candidates for ``phase`` matching ``view``, one representative
+    per distinct finite view graph, sorted by the finite-view-graph order.
+
+    ``layer_names`` says how to split a composed mark back into layers
+    (e.g. ``("input", "color", "bits")``).  ``problem_c`` checks C3 on the
+    graph without its last (bits) layer.  ``max_nodes`` caps C1 (see the
+    module docstring for why that is sound); ``budget`` caps the number
+    of (graph, labeling) pairs examined and raises
+    :class:`CandidateError` when exceeded.
+    """
+    marks = observed_marks(view)
+    cap = min(phase, max_nodes)
+    examined = 0
+    by_encoding: Dict[Tuple[int, str], Candidate] = {}
+    for k in range(1, cap + 1):
+        for edges in _connected_edge_sets(k):
+            for labeling in itertools.product(marks, repeat=k):
+                examined += 1
+                if examined > budget:
+                    raise CandidateError(
+                        f"candidate enumeration exceeded its budget of "
+                        f"{budget} at phase {phase} (k={k})"
+                    )
+                candidate = _try_candidate(
+                    edges, k, labeling, view, phase, problem_c, layer_names
+                )
+                if candidate is not None and candidate.sort_key not in by_encoding:
+                    by_encoding[candidate.sort_key] = candidate
+    return [by_encoding[key] for key in sorted(by_encoding)]
+
+
+def _try_candidate(
+    edges: List[Tuple[int, int]],
+    k: int,
+    labeling: Tuple[Tuple, ...],
+    view: ViewTree,
+    phase: int,
+    problem_c: DistributedProblem,
+    layer_names: Sequence[str],
+) -> Optional[Candidate]:
+    # Cheap pre-filters before paying for graph + view construction:
+    # C2's anchor must reproduce the view's root, so some node must carry
+    # the root's mark with the root's degree; and every mark must come
+    # from the observed alphabet with a matching degree *somewhere* in
+    # the view (checked by the caller's alphabet construction).
+    degree_of = {node_id: 0 for node_id in range(k)}
+    for u, v in edges:
+        degree_of[u] += 1
+        degree_of[v] += 1
+    root_mark = view.mark
+    root_degree = len(view.children)
+    if not any(
+        labeling[node_id] == root_mark and degree_of[node_id] == root_degree
+        for node_id in range(k)
+    ):
+        return None
+
+    layers: Dict[str, Dict[int, object]] = {name: {} for name in layer_names}
+    for node_id, mark in enumerate(labeling):
+        if not isinstance(mark, tuple) or len(mark) != len(layer_names):
+            return None
+        for name, value in zip(layer_names, mark):
+            layers[name][node_id] = value
+    try:
+        graph = LabeledGraph(edges, nodes=range(k), layers=layers)
+    except GraphError:
+        return None
+
+    # C2: find an anchor whose depth-`phase` view equals the observed one.
+    views = all_views(graph, phase)
+    anchor: Optional[int] = None
+    for node_id in graph.nodes:
+        if views[node_id] is view:
+            anchor = node_id
+            break
+    if anchor is None:
+        return None
+
+    # C3: drop the trailing bits layer and ask Π^c.
+    instance_part = graph.with_only_layers(list(layer_names[:-1]))
+    if not problem_c.is_instance(instance_part):
+        return None
+
+    try:
+        quotient = finite_view_graph(graph)
+    except FactorError:
+        return None
+    return Candidate(
+        graph=graph,
+        finite_view=quotient.graph,
+        anchor=anchor,
+        anchor_class=quotient.map(anchor),
+        sort_key=finite_view_graph_sort_key(quotient.graph),
+    )

@@ -1,0 +1,80 @@
+"""The predetermined total orders of Sections 2.1, 2.2 and 3.1.
+
+Everything in the derandomization hinges on all nodes independently
+computing the *same* orders:
+
+* **views** — :meth:`repro.views.view_tree.ViewTree.compare` (canonical,
+  construction-order independent);
+* **node order of a prime graph** — nodes sorted by their view aliases;
+  for quotient graphs produced by this library that is exactly the
+  integer class order, because classes are numbered canonically;
+* **bit assignments** ``b : V -> {0,1}^t`` — by ``t`` first, then
+  lexicographically on the tuple ``(b(w_1), ..., b(w_k))`` under the
+  node order;
+* **finite view graphs** — by node count, then lexicographically on the
+  bitstring encoding ``s(G_*)`` relative to the canonical node order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import DerandomizationError
+from repro.graphs.encoding import encode_ordered_graph
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.views.local_views import all_views
+from repro.views.refinement import color_refinement
+
+
+def canonical_node_order(graph: LabeledGraph) -> List[Node]:
+    """The canonical total order on the nodes of a *prime* labeled graph.
+
+    Nodes are ordered by their canonical view aliases; since the graph is
+    prime, views are distinct (Lemma 4 / Corollary 1) and the order is
+    total.  Implemented via the stable refinement classes, whose
+    numbering is content-derived and therefore identical for isomorphic
+    graphs.  Raises :class:`DerandomizationError` if two nodes share a
+    class (graph not prime).
+    """
+    refinement = color_refinement(graph)
+    classes = refinement.classes
+    if len(set(classes.values())) != graph.num_nodes:
+        raise DerandomizationError(
+            "canonical_node_order needs a prime graph; view classes collide "
+            f"(n={graph.num_nodes}, classes={len(set(classes.values()))})"
+        )
+    return sorted(graph.nodes, key=lambda v: classes[v])
+
+
+def assignment_sort_key(
+    assignment: Mapping[Node, str], node_order: Sequence[Node]
+) -> Tuple[int, Tuple[str, ...]]:
+    """Sort key realizing the paper's total order on uniform-length
+    assignments: ``b_1 < b_2`` iff ``t_1 < t_2``, or ``t_1 = t_2`` and
+    ``(b_1(w_1), ..., b_1(w_k)) <lex (b_2(w_1), ..., b_2(w_k))``."""
+    missing = [v for v in node_order if v not in assignment]
+    if missing:
+        raise DerandomizationError(f"assignment misses nodes {missing!r}")
+    lengths = {len(assignment[v]) for v in node_order}
+    if len(lengths) != 1:
+        raise DerandomizationError(
+            f"assignment order is defined on uniform-length assignments, "
+            f"got lengths {sorted(lengths)!r}"
+        )
+    return (lengths.pop(), tuple(assignment[v] for v in node_order))
+
+
+def finite_view_graph_sort_key(graph: LabeledGraph) -> Tuple[int, str]:
+    """Sort key realizing the order on finite view graphs: ``G_* < G'_*``
+    iff ``|V_*| < |V'_*|``, or equal sizes and ``s(G_*) < s(G'_*)``.
+
+    ``s`` is computed relative to the canonical node order, so the key of
+    two isomorphic finite view graphs is identical (the encoding is a
+    canonical form on prime graphs)."""
+    order = canonical_node_order(graph)
+    return (graph.num_nodes, encode_ordered_graph(graph, order))
+
+
+def view_order_of_nodes(graph: LabeledGraph) -> Dict[Node, int]:
+    """Each node's position in the canonical node order (prime graphs)."""
+    return {v: i for i, v in enumerate(canonical_node_order(graph))}

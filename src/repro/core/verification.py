@@ -1,0 +1,233 @@
+"""Conformance checking for GRAN bundles — "is my algorithm certifiable?"
+
+Theorem 1 consumes a :class:`~repro.problems.gran.GranBundle`; anyone
+adding their own problem + algorithms wants to know whether the bundle
+actually satisfies the hypotheses the derandomization relies on.  This
+module runs the executable battery:
+
+* **solver validity** — Las-Vegas outputs valid on every (instance,
+  seed) pair tried;
+* **decider correctness** — all-YES on instances, some-NO on
+  non-instances;
+* **replayability** — recorded executions reproduce exactly from their
+  bit assignments (the property "simulation induced by b" requires);
+* **liftability** — executions lift along factorizing maps with
+  per-fiber identical outputs (port-obliviousness in practice);
+* **factor closure** — instance quotients are instances (the part of
+  genuine solvability that anonymous deciders enforce);
+* **derandomizability** — the practical derandomizer produces valid,
+  deterministic outputs on colored instances.
+
+A failed check does not raise; the returned report says what failed and
+on which case, so bundle authors can iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.exceptions import ReproError
+from repro.factor.factorizing_map import FactorizingMap
+from repro.factor.lifting import verify_execution_lifting
+from repro.factor.quotient import finite_view_graph
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.lifts import lift_graph
+from repro.problems.decision import decision_outputs_valid
+from repro.problems.gran import GranBundle
+from repro.runtime.algorithm import randomized_shell
+from repro.runtime.simulation import run_randomized, simulate_with_assignment
+from repro.core.practical import PracticalDerandomizer
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One conformance check on one case."""
+
+    check: str
+    case: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """All outcomes of a conformance run."""
+
+    bundle_name: str
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def failures(self) -> List[CheckOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def summary(self) -> str:
+        by_check: dict = {}
+        for outcome in self.outcomes:
+            totals = by_check.setdefault(outcome.check, [0, 0])
+            totals[0] += outcome.passed
+            totals[1] += 1
+        lines = [f"conformance of {self.bundle_name!r}:"]
+        for check, (ok, total) in by_check.items():
+            marker = "ok " if ok == total else "FAIL"
+            lines.append(f"  [{marker}] {check}: {ok}/{total}")
+        return "\n".join(lines)
+
+
+def check_gran_bundle(
+    bundle: GranBundle,
+    instances: Sequence[Tuple[str, LabeledGraph]],
+    non_instances: Sequence[Tuple[str, LabeledGraph]] = (),
+    seeds: Iterable[int] = (0, 1, 2),
+    lift_fiber: int = 2,
+    derandomize: bool = True,
+    max_rounds: int = 10_000,
+) -> ConformanceReport:
+    """Run the full conformance battery.
+
+    ``instances`` must be legal inputs of ``bundle.problem``;
+    ``non_instances`` (optional) exercise the decider's NO side.
+    ``lift_fiber`` controls the liftability check (skipped for tree
+    instances, which have no connected nontrivial lifts).
+    """
+    report = ConformanceReport(bundle_name=bundle.problem.name)
+    seeds = list(seeds)
+
+    for name, graph in instances:
+        _check_instance(report, bundle, name, graph, seeds, lift_fiber, max_rounds)
+        if derandomize:
+            _check_derandomizable(report, bundle, name, graph, max_rounds)
+
+    for name, graph in non_instances:
+        expected = bundle.problem.is_instance(graph)
+        for seed in seeds:
+            try:
+                result = run_randomized(
+                    bundle.decider, graph, seed=seed, max_rounds=max_rounds
+                )
+                ok = decision_outputs_valid(expected, result.outputs)
+                detail = "" if ok else f"verdicts {result.outputs!r}"
+            except ReproError as exc:
+                ok, detail = False, str(exc)
+            report.outcomes.append(
+                CheckOutcome("decider-rejects", f"{name}/seed{seed}", ok, detail)
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+
+
+def _check_instance(report, bundle, name, graph, seeds, lift_fiber, max_rounds):
+    problem, decider = bundle.problem, bundle.decider
+    # Deterministic solvers are a special case of randomized ones; the
+    # shell makes them acceptable to the assignment-based machinery.
+    solver = randomized_shell(bundle.solver)
+
+    if not problem.is_instance(graph):
+        report.outcomes.append(
+            CheckOutcome("instances-legal", name, False, "not an instance")
+        )
+        return
+    report.outcomes.append(CheckOutcome("instances-legal", name, True))
+
+    # Solver validity + replayability per seed.
+    recorded = None
+    for seed in seeds:
+        try:
+            result = run_randomized(solver, graph, seed=seed, max_rounds=max_rounds)
+            valid = problem.is_valid_output(graph, result.outputs)
+            report.outcomes.append(
+                CheckOutcome(
+                    "solver-valid",
+                    f"{name}/seed{seed}",
+                    valid,
+                    "" if valid else f"outputs {result.outputs!r}",
+                )
+            )
+            replay = simulate_with_assignment(
+                solver, graph, result.trace.assignment()
+            )
+            report.outcomes.append(
+                CheckOutcome(
+                    "replayable",
+                    f"{name}/seed{seed}",
+                    replay.successful and replay.outputs == result.outputs,
+                )
+            )
+            recorded = result
+        except ReproError as exc:
+            report.outcomes.append(
+                CheckOutcome("solver-valid", f"{name}/seed{seed}", False, str(exc))
+            )
+
+    # Decider accepts instances.
+    try:
+        result = run_randomized(decider, graph, seed=seeds[0], max_rounds=max_rounds)
+        report.outcomes.append(
+            CheckOutcome(
+                "decider-accepts",
+                name,
+                decision_outputs_valid(True, result.outputs),
+            )
+        )
+    except ReproError as exc:
+        report.outcomes.append(CheckOutcome("decider-accepts", name, False, str(exc)))
+
+    # Liftability: run on the graph as factor, lift to a product.
+    if lift_fiber > 1 and graph.num_edges > graph.num_nodes - 1 and recorded is not None:
+        try:
+            lift, projection = lift_graph(graph, lift_fiber, seed=1)
+            fm = FactorizingMap(lift, graph, projection)
+            comparison = verify_execution_lifting(
+                solver, fm, recorded.trace.assignment()
+            )
+            report.outcomes.append(
+                CheckOutcome("liftable", name, comparison.lemma_holds)
+            )
+        except ReproError as exc:
+            report.outcomes.append(CheckOutcome("liftable", name, False, str(exc)))
+
+    # Factor closure: the colored quotient's input part is an instance.
+    try:
+        colored = apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+        quotient = finite_view_graph(colored)
+        closed = problem.is_instance(
+            quotient.graph.with_only_layers([problem.input_layer])
+        )
+        report.outcomes.append(CheckOutcome("factor-closed", name, closed))
+    except ReproError as exc:
+        report.outcomes.append(CheckOutcome("factor-closed", name, False, str(exc)))
+
+
+def _check_derandomizable(report, bundle, name, graph, max_rounds):
+    problem = bundle.problem
+    solver = randomized_shell(bundle.solver)
+    try:
+        colored = apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+        derandomizer = PracticalDerandomizer(
+            problem, solver, strategy="prg", max_assignment_length=256
+        )
+        first = derandomizer.solve(colored)
+        second = derandomizer.solve(colored)
+        valid = problem.is_valid_output(
+            colored.with_only_layers([problem.input_layer]), first.outputs
+        )
+        deterministic = first.outputs == second.outputs
+        report.outcomes.append(
+            CheckOutcome(
+                "derandomizable",
+                name,
+                valid and deterministic,
+                "" if valid else "invalid outputs"
+                if not deterministic
+                else "nondeterministic outputs",
+            )
+        )
+    except ReproError as exc:
+        report.outcomes.append(CheckOutcome("derandomizable", name, False, str(exc)))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subsystem raises the most specific subclass that
+applies; error messages always name the offending object so failures in
+long experiment sweeps are attributable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph violates a structural requirement (simplicity, connectivity,
+    unknown node, bad port numbering, ...)."""
+
+
+class LabelingError(ReproError):
+    """A labeling function is malformed or violates a coloring constraint."""
+
+
+class FactorError(ReproError):
+    """A claimed factor/product relationship does not hold: the map is not
+    surjective, not label-preserving, or not a local isomorphism."""
+
+
+class ViewError(ReproError):
+    """A local-view computation received inconsistent arguments."""
+
+
+class RuntimeModelError(ReproError):
+    """The synchronous anonymous runtime was misused (e.g. an algorithm
+    sent a message on a nonexistent port, or overwrote an irrevocable
+    output)."""
+
+
+class OutputAlreadySetError(RuntimeModelError):
+    """A node attempted to change its irrevocable output."""
+
+
+class SimulationError(ReproError):
+    """A simulation induced by a bit assignment could not be carried out
+    (e.g. the assignment does not cover every node)."""
+
+
+class ProblemError(ReproError):
+    """A distributed problem was given an invalid instance or output."""
+
+
+class DerandomizationError(ReproError):
+    """The A*/A-infinity machinery hit an internal inconsistency (these
+    indicate bugs or an input outside the theorem's hypotheses, such as a
+    labeling that is not a 2-hop coloring)."""
+
+
+class CandidateError(DerandomizationError):
+    """Candidate enumeration for A* was asked for an infeasible phase."""

@@ -1,0 +1,29 @@
+"""Executable experiments — every paper artifact as a library call.
+
+Each experiment regenerates one artifact of the paper (a figure, a
+theorem, a lemma, or an in-text claim) and returns an
+:class:`~repro.experiments.base.ExperimentResult`: a table plus
+pass/fail checks.  The benchmark suite wraps these functions with
+timing; the CLI runs them standalone:
+
+    python -m repro.experiments --list
+    python -m repro.experiments figure2 norris
+    python -m repro.experiments --all
+
+Every experiment function is deterministic (seeds are fixed inside).
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_experiment,
+    run_all,
+)
+from repro.experiments import figures, theorems, lemmas, boundaries, costs  # noqa: F401  (registration)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_all",
+]

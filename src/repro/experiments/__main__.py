@@ -1,0 +1,80 @@
+"""CLI experiment runner: ``python -m repro.experiments``.
+
+Usage::
+
+    python -m repro.experiments --list          # available experiment ids
+    python -m repro.experiments figure2 norris  # run selected experiments
+    python -m repro.experiments --all           # run everything
+
+Exits nonzero if any experiment's checks fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.base import all_experiment_ids, get_experiment, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the paper's figures and validate its theorems/lemmas."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each experiment's table as DIR/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in all_experiment_ids():
+            print(experiment_id)
+        return 0
+
+    if args.all:
+        results = run_all()
+    elif args.experiments:
+        results = [get_experiment(eid)() for eid in args.experiments]
+    else:
+        parser.print_help()
+        return 2
+
+    if args.csv:
+        import pathlib
+
+        from repro.analysis.sweeps import table_to_csv
+
+        directory = pathlib.Path(args.csv)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            path = directory / f"{result.experiment_id}.csv"
+            path.write_text(table_to_csv(result.columns, result.rows))
+        print(f"wrote {len(results)} CSV tables to {directory}/")
+
+    any_failed = False
+    for result in results:
+        print(result.render())
+        print()
+        if not result.passed:
+            any_failed = True
+    if any_failed:
+        print("SOME CHECKS FAILED", file=sys.stderr)
+        return 1
+    print(f"all {len(results)} experiments passed their checks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Experiment infrastructure: results, registry, rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.exceptions import ReproError
+
+
+class ExperimentCheckFailed(ReproError):
+    """An experiment's assertion about the paper's claim failed."""
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (matches DESIGN.md's index, e.g. ``"F2"``/``"figure2"``).
+    title:
+        Table title including the paper artifact being reproduced.
+    columns / rows:
+        The regenerated table.
+    checks:
+        Named boolean checks — executable forms of the paper's claims.
+        All must be ``True`` for the experiment to pass.
+    preamble:
+        Optional free-form text shown above the table (e.g. Figure 1's
+        rendered tree).
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[SweepRow]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    preamble: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+    def require_passed(self) -> "ExperimentResult":
+        failed = [name for name, ok in self.checks.items() if not ok]
+        if failed:
+            raise ExperimentCheckFailed(
+                f"experiment {self.experiment_id} failed checks: {failed!r}"
+            )
+        return self
+
+    def render(self) -> str:
+        parts = []
+        if self.preamble:
+            parts.append(self.preamble)
+        parts.append(format_table(self.title, list(self.columns), self.rows))
+        checks = ", ".join(
+            f"{name}={'ok' if ok else 'FAILED'}" for name, ok in self.checks.items()
+        )
+        if checks:
+            parts.append(f"checks: {checks}")
+        return "\n".join(parts)
+
+
+_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering an experiment function under an id."""
+
+    def register(fn: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ReproError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        fn.experiment_id = experiment_id  # type: ignore[attr-defined]
+        return fn
+
+    return register
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; available: {all_experiment_ids()!r}"
+        ) from None
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every registered experiment, in id order."""
+    return [_REGISTRY[eid]() for eid in all_experiment_ids()]

@@ -1,0 +1,311 @@
+"""Experiments at the edges of the theorem: the k-hop boundary, election
+impossibility, fibrations, and port emulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.algorithms.monte_carlo_election import (
+    MonteCarloElection,
+    failure_probability_bound,
+)
+from repro.analysis.khop_boundary import lifted_khop_violation, uniform_cycle_cover
+from repro.analysis.sweeps import SweepRow
+from repro.analysis.symmetry import (
+    election_is_deterministically_impossible,
+    view_class_profile,
+)
+from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments._shared import colored, lifted_colored_c3
+from repro.factor.fibrations import (
+    coloring_respects_symmetry,
+    directed_representation,
+    fibration_to_factorizing_map,
+    is_deterministic_coloring,
+    is_fibration,
+    is_symmetric_representation,
+)
+from repro.graphs.builders import (
+    circulant_graph,
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    torus_graph,
+    with_uniform_input,
+)
+from repro.problems.election import LEADER, LeaderElectionProblem, MinimalViewElection
+from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation, PortScheduler
+from repro.runtime.scheduler import SynchronousScheduler
+from repro.runtime.simulation import run_deterministic, run_randomized
+from repro.runtime.tape import FixedTape
+from repro.views.refinement import color_refinement
+
+
+@experiment("khop")
+def khop_boundary() -> ExperimentResult:
+    """Section 1.2: k-hop coloring is in GRAN iff k <= 2."""
+    rows, checks = [], {}
+    for factor, multiplier in [(3, 2), (3, 4), (4, 2), (5, 2), (6, 2)]:
+        covering = uniform_cycle_cover(factor, multiplier)
+        violation = lifted_khop_violation(covering, seed=2, max_k=8)
+        label = f"C{factor} ⪯ C{factor * multiplier}"
+        checks[f"2-hop survives ({label})"] = violation.valid_up_to >= 2
+        checks[f"breaks below factor size ({label})"] = violation.valid_up_to < factor
+        rows.append(
+            SweepRow(
+                label,
+                {
+                    "factor n": violation.factor_nodes,
+                    "product n": violation.product_nodes,
+                    "lifted valid up to k": violation.valid_up_to,
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="khop",
+        title=(
+            "KHOP — lifted colorings stay 2-hop valid but fail as k-hop "
+            "colorings for k > 2 (the GRAN boundary of Section 1.2)"
+        ),
+        columns=["factor n", "product n", "lifted valid up to k"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+@experiment("impossibility")
+def impossibility() -> ExperimentResult:
+    """Angluin-style election impossibility via view collapse."""
+    cases = [
+        ("cycle-8", with_uniform_input(cycle_graph(8))),
+        ("complete-6", with_uniform_input(complete_graph(6))),
+        ("hypercube-3", with_uniform_input(hypercube_graph(3))),
+        ("torus-3x3", with_uniform_input(torus_graph(3, 3))),
+        ("petersen", with_uniform_input(petersen_graph())),
+        ("circulant-8(1,2)", with_uniform_input(circulant_graph(8, [1, 2]))),
+        ("circulant-9(1,3)", with_uniform_input(circulant_graph(9, [1, 3]))),
+        ("path-6", with_uniform_input(path_graph(6))),
+        ("star-5", with_uniform_input(star_graph(5))),
+    ]
+    rows, checks = [], {}
+    for name, graph in cases:
+        profile = view_class_profile(graph)
+        impossible = election_is_deterministically_impossible(graph)
+        checks[f"{name} impossible"] = impossible
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "n": profile.num_nodes,
+                    "view classes": profile.num_classes,
+                    "largest class": profile.class_sizes[0],
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="impossibility",
+        title=(
+            "IMP — view-class collapse forbids deterministic anonymous "
+            "leader election on symmetric families"
+        ),
+        columns=["n", "view classes", "largest class"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+@experiment("election")
+def election_boundary() -> ExperimentResult:
+    """Election succeeds exactly on prime colored instances; the
+    Monte-Carlo variant trades correctness probability for feasibility."""
+    problem = LeaderElectionProblem()
+
+    def with_n(graph):
+        n = graph.num_nodes
+        return graph.with_layer(
+            "input", {v: (graph.degree(v), n) for v in graph.nodes}
+        )
+
+    cases = [
+        ("path-5", colored(with_n(path_graph(5)))),
+        ("star-4", colored(with_n(star_graph(4)))),
+        ("cycle-5", colored(with_n(cycle_graph(5)))),
+    ]
+    base = colored(with_n(cycle_graph(3)))
+    from repro.graphs.lifts import cyclic_lift
+
+    for fiber in (2, 4):
+        lift, _ = cyclic_lift(base, fiber)
+        lift = lift.with_layer(
+            "input", {v: (lift.degree(v), lift.num_nodes) for v in lift.nodes}
+        )
+        cases.append((f"C{3 * fiber} over C3", lift))
+
+    rows, checks = [], {}
+    for name, instance in cases:
+        execution = run_deterministic(MinimalViewElection(), instance, max_rounds=200)
+        leaders = sum(1 for out in execution.outputs.values() if out == LEADER)
+        valid = problem.is_valid_output(
+            instance.with_only_layers(["input"]), execution.outputs
+        )
+        classes = color_refinement(instance).num_classes
+        prime = classes == instance.num_nodes
+        checks[f"valid iff prime ({name})"] = valid == prime
+        rows.append(
+            SweepRow(name, {"n": instance.num_nodes, "prime": prime, "leaders": leaders})
+        )
+
+    # Monte-Carlo failure rates on C8.
+    graph = with_n(cycle_graph(8))
+    trials = 40
+    for id_bits in (1, 4, 16):
+        failures = sum(
+            not problem.is_valid_output(
+                graph,
+                run_randomized(MonteCarloElection(id_bits=id_bits), graph, seed=s).outputs,
+            )
+            for s in range(trials)
+        )
+        bound = failure_probability_bound(graph.num_nodes, id_bits)
+        checks[f"mc rate within bound (b={id_bits})"] = (
+            failures / trials <= bound + 0.2
+        )
+        rows.append(
+            SweepRow(
+                f"monte-carlo b={id_bits}",
+                {"n": 8, "prime": "-", "leaders": f"fail {failures}/{trials}"},
+            )
+        )
+    return ExperimentResult(
+        experiment_id="election",
+        title=(
+            "ELECT — deterministic election works iff the colored instance "
+            "is prime; Monte-Carlo failure decays with ID length"
+        ),
+        columns=["n", "prime", "leaders"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+@experiment("fibrations")
+def fibrations() -> ExperimentResult:
+    """Section 4: directed representations and the fibration bridge."""
+    rows, checks = [], {}
+    for fiber in (2, 4):
+        base, lift, projection = lifted_colored_c3(fiber)
+        rep_total = directed_representation(lift)
+        rep_base = directed_representation(base)
+        props = (
+            is_symmetric_representation(rep_total),
+            is_deterministic_coloring(rep_total),
+            coloring_respects_symmetry(rep_total),
+        )
+        checks[f"representation properties x{fiber}"] = all(props)
+        ok = is_fibration(rep_total, rep_base, projection)
+        fm = fibration_to_factorizing_map(lift, base, projection)
+        checks[f"fibration <-> factorizing map x{fiber}"] = (
+            ok and fm.multiplicity == fiber
+        )
+        rows.append(
+            SweepRow(
+                f"C3-lift x{fiber}",
+                {
+                    "directed edges": len(rep_total.edges),
+                    "symmetric": props[0],
+                    "deterministic": props[1],
+                    "is fibration": ok,
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fibrations",
+        title=(
+            "SEC4 — directed representations are symmetric + "
+            "deterministically colored; fibrations ↔ factorizing maps"
+        ),
+        columns=["directed edges", "symmetric", "deterministic", "is fibration"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+@dataclass(frozen=True)
+class _LedgerState:
+    ledger: Tuple
+    round_number: int
+
+
+class _PortLedger(PortAwareAlgorithm):
+    bits_per_round = 0
+    name = "port-ledger"
+
+    def init_state(self, input_label, degree: int):
+        return _LedgerState(ledger=(), round_number=0)
+
+    def messages(self, state, degree: int):
+        return [(state.round_number, port) for port in range(degree)]
+
+    def transition(self, state, received, bits: str):
+        return _LedgerState(
+            ledger=state.ledger + (tuple(enumerate(received)),),
+            round_number=state.round_number + 1,
+        )
+
+    def output(self, state):
+        return state.ledger if state.round_number >= 3 else None
+
+
+@experiment("ports")
+def port_emulation() -> ExperimentResult:
+    """Section 1.3's remark: port numbers emulated via colors."""
+    rows, checks = [], {}
+    cases = [
+        ("path-5", colored(with_uniform_input(path_graph(5)))),
+        ("cycle-6", colored(with_uniform_input(cycle_graph(6)))),
+        ("star-5", colored(with_uniform_input(star_graph(5)))),
+    ]
+    for name, graph in cases:
+        inner = _PortLedger()
+
+        def key(u, graph=graph):
+            c = graph.label_of(u, "color")
+            return (type(c).__name__, repr(c))
+
+        native = PortScheduler(
+            inner,
+            graph.with_ports(
+                {v: sorted(graph.neighbors(v), key=key) for v in graph.nodes}
+            ),
+            {v: FixedTape("") for v in graph.nodes},
+        ).run(max_rounds=10)
+        emulated = SynchronousScheduler(
+            PortEmulation(inner), graph, {v: FixedTape("") for v in graph.nodes}
+        ).run(max_rounds=10)
+        checks[f"outputs equal ({name})"] = native.outputs == emulated.outputs
+        checks[f"one-round overhead ({name})"] = emulated.rounds == native.rounds + 1
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "native rounds": native.rounds,
+                    "emulated rounds": emulated.rounds,
+                    "outputs equal": native.outputs == emulated.outputs,
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ports",
+        title=(
+            "PORTS — the port-numbering model emulated over broadcast + "
+            "2-hop colors (identical outputs, one hello round)"
+        ),
+        columns=["native rounds", "emulated rounds", "outputs equal"],
+        rows=rows,
+        checks=checks,
+    )

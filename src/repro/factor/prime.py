@@ -1,0 +1,150 @@
+"""Primality and factor enumeration.
+
+A labeled graph is *prime* when all of its factors are isomorphic to it
+(paper Section 2.3.1).  For 2-hop colored graphs Lemma 3 says the
+infinite view graph is the unique prime factor; for general labeled
+graphs several non-isomorphic prime factors can coexist — the paper's
+example is the uncolored 12-cycle, whose prime factors are the 3-cycle
+and the 4-cycle.  :func:`prime_factors` reproduces exactly that.
+
+Factor enumeration is exhaustive over fiber partitions and therefore
+meant for small graphs (the paper-scale examples); it exploits Fact 1 —
+nodes sharing a fiber share their infinite view — to restrict blocks to
+view-equivalence classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import FactorError, GraphError
+from repro.factor.factorizing_map import FactorizingMap
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.graphs.isomorphism import are_isomorphic
+from repro.views.refinement import color_refinement
+
+
+def is_prime(graph: LabeledGraph) -> bool:
+    """Whether ``graph`` is prime (every factor is an isomorphism).
+
+    Equivalent to its view quotient being trivial *when the quotient is a
+    factor* (2-hop colored graphs); in general, primality is decided by
+    checking that no nontrivial fiber partition yields a factor.
+    """
+    return len(all_factors(graph, include_trivial=False)) == 0
+
+
+def all_factors(
+    graph: LabeledGraph, include_trivial: bool = False
+) -> List[FactorizingMap]:
+    """All factorizing maps out of ``graph``, one per valid fiber partition.
+
+    ``include_trivial`` adds the identity factorization.  Exhaustive —
+    use on small graphs only (guarded at 16 nodes).
+    """
+    if graph.num_nodes > 16:
+        raise GraphError(
+            f"all_factors is exhaustive and limited to 16 nodes, got {graph.num_nodes}"
+        )
+    classes = color_refinement(graph).classes
+    n = graph.num_nodes
+    results: List[FactorizingMap] = []
+    for fiber_size in _divisors(n):
+        if fiber_size == 1:
+            if include_trivial:
+                identity = {v: v for v in graph.nodes}
+                results.append(FactorizingMap(graph, graph, identity))
+            continue
+        for partition in _equal_size_partitions(graph, classes, fiber_size):
+            factor_map = _partition_to_factor(graph, partition)
+            if factor_map is not None:
+                results.append(factor_map)
+    return results
+
+
+def prime_factors(graph: LabeledGraph) -> List[LabeledGraph]:
+    """The prime factors of ``graph``, deduplicated up to isomorphism.
+
+    A graph that is itself prime has exactly itself as prime factor.
+    """
+    factors = [m.factor for m in all_factors(graph, include_trivial=True)]
+    primes = [candidate for candidate in factors if is_prime(candidate)]
+    unique: List[LabeledGraph] = []
+    for candidate in primes:
+        if not any(are_isomorphic(candidate, existing) for existing in unique):
+            unique.append(candidate)
+    return unique
+
+
+# ----------------------------------------------------------------------
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def _equal_size_partitions(
+    graph: LabeledGraph, classes: Dict[Node, int], fiber_size: int
+) -> List[List[Tuple[Node, ...]]]:
+    """All partitions of the node set into blocks of exactly ``fiber_size``
+    nodes, where every block stays inside one view class (Fact 1)."""
+    nodes = list(graph.nodes)
+    partitions: List[List[Tuple[Node, ...]]] = []
+    blocks: List[List[Node]] = []
+
+    def backtrack(remaining: List[Node]) -> None:
+        if not remaining:
+            if all(len(block) == fiber_size for block in blocks):
+                partitions.append([tuple(block) for block in blocks])
+            return
+        if len(remaining) < sum(fiber_size - len(block) for block in blocks):
+            return  # not enough nodes left to fill the open blocks
+        first = remaining[0]
+        rest = remaining[1:]
+        # Join an open block (only the lexicographically first unassigned
+        # node may open a block, which avoids generating permutations).
+        for block in blocks:
+            if len(block) < fiber_size and classes[block[0]] == classes[first]:
+                block.append(first)
+                backtrack(rest)
+                block.pop()
+        blocks.append([first])
+        backtrack(rest)
+        blocks.pop()
+
+    backtrack(nodes)
+    return partitions
+
+
+def _partition_to_factor(
+    graph: LabeledGraph, partition: List[Tuple[Node, ...]]
+) -> Optional[FactorizingMap]:
+    """Build and verify the quotient of ``graph`` by ``partition``;
+    ``None`` when the partition does not induce a factor."""
+    block_of: Dict[Node, int] = {}
+    for index, block in enumerate(partition):
+        for v in block:
+            block_of[v] = index
+    edges: set = set()
+    for v in graph.nodes:
+        b = block_of[v]
+        neighbor_blocks = [block_of[u] for u in graph.neighbors(v)]
+        if b in neighbor_blocks:
+            return None  # would need a loop
+        if len(set(neighbor_blocks)) != len(neighbor_blocks):
+            return None  # projection not locally injective
+        for d in neighbor_blocks:
+            edges.add(frozenset((b, d)))
+    layers = {
+        name: {index: graph.label_of(block[0], name) for index, block in enumerate(partition)}
+        for name in graph.layer_names
+    }
+    try:
+        quotient = LabeledGraph(
+            [tuple(sorted(e)) for e in edges],
+            nodes=range(len(partition)),
+            layers=layers,
+        )
+        return FactorizingMap(graph, quotient, block_of)
+    except (GraphError, FactorError):
+        return None

@@ -1,0 +1,91 @@
+"""Labeled-graph substrate for anonymous-network computation.
+
+This package provides the data layer of the model in Section 1.1 of the
+paper: finite connected simple graphs whose nodes carry *label layers*
+(input labels, 2-hop colorings, evolving bitstrings, ...) and a port
+numbering at every node.
+"""
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.builders import (
+    caterpillar_graph,
+    circulant_graph,
+    complete_graph,
+    cycle_graph,
+    wheel_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+    binary_tree_graph,
+    complete_bipartite_graph,
+)
+from repro.graphs.lifts import lift_graph, cyclic_lift
+from repro.graphs.coloring import (
+    greedy_k_hop_coloring,
+    is_k_hop_coloring,
+    is_two_hop_coloring,
+    k_hop_conflicts,
+)
+from repro.graphs.encoding import canonical_encoding, encode_ordered_graph
+from repro.graphs.properties import (
+    diameter,
+    degree_profile,
+    is_connected,
+    is_regular,
+)
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    automorphisms,
+    find_isomorphism,
+    is_vertex_transitive,
+)
+
+__all__ = [
+    "LabeledGraph",
+    "caterpillar_graph",
+    "circulant_graph",
+    "wheel_graph",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "petersen_graph",
+    "random_connected_graph",
+    "random_regular_graph",
+    "star_graph",
+    "torus_graph",
+    "binary_tree_graph",
+    "complete_bipartite_graph",
+    "lift_graph",
+    "cyclic_lift",
+    "greedy_k_hop_coloring",
+    "is_k_hop_coloring",
+    "is_two_hop_coloring",
+    "k_hop_conflicts",
+    "canonical_encoding",
+    "encode_ordered_graph",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "diameter",
+    "degree_profile",
+    "is_connected",
+    "is_regular",
+    "are_isomorphic",
+    "automorphisms",
+    "find_isomorphism",
+    "is_vertex_transitive",
+]

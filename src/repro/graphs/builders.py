@@ -1,0 +1,267 @@
+"""Constructors for the graph families used throughout the reproduction.
+
+All builders return :class:`~repro.graphs.labeled_graph.LabeledGraph`
+instances with integer node ids and no label layers (labels are applied
+by the caller — typically an ``input`` layer and later a 2-hop coloring
+layer).  Every builder is deterministic; the random builders take an
+explicit ``seed``.
+
+The families cover what the paper's figures and our experiment sweeps
+need: cycles (Figures 1 and 2), paths, complete and bipartite graphs,
+stars, trees, hypercubes, grids/tori (vertex-transitive cases for the
+leader-election impossibility experiments), the Petersen graph, random
+connected graphs and random regular graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+def cycle_graph(n: int) -> LabeledGraph:
+    """The cycle C_n on nodes ``0 .. n-1`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise GraphError(f"a cycle needs at least 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return LabeledGraph(edges)
+
+
+def path_graph(n: int) -> LabeledGraph:
+    """The path P_n on nodes ``0 .. n-1`` (requires ``n >= 1``)."""
+    if n < 1:
+        raise GraphError(f"a path needs at least 1 node, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return LabeledGraph(edges, nodes=range(n))
+
+
+def complete_graph(n: int) -> LabeledGraph:
+    """The complete graph K_n on nodes ``0 .. n-1`` (requires ``n >= 1``)."""
+    if n < 1:
+        raise GraphError(f"a complete graph needs at least 1 node, got {n}")
+    edges = list(itertools.combinations(range(n), 2))
+    return LabeledGraph(edges, nodes=range(n))
+
+
+def star_graph(leaves: int) -> LabeledGraph:
+    """The star with center ``0`` and ``leaves`` leaves ``1 .. leaves``."""
+    if leaves < 1:
+        raise GraphError(f"a star needs at least 1 leaf, got {leaves}")
+    return LabeledGraph([(0, i) for i in range(1, leaves + 1)])
+
+
+def complete_bipartite_graph(a: int, b: int) -> LabeledGraph:
+    """K_{a,b} with left part ``0 .. a-1`` and right part ``a .. a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError(f"both parts must be nonempty, got {a} and {b}")
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return LabeledGraph(edges)
+
+
+def binary_tree_graph(depth: int) -> LabeledGraph:
+    """The complete binary tree of the given depth (root ``0``; depth 0 is
+    the single root)."""
+    if depth < 0:
+        raise GraphError(f"depth must be nonnegative, got {depth}")
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for child in range(1, n):
+        edges.append(((child - 1) // 2, child))
+    return LabeledGraph(edges, nodes=range(n))
+
+
+def hypercube_graph(dim: int) -> LabeledGraph:
+    """The ``dim``-dimensional hypercube; node ``i`` joins ``i ^ (1<<k)``."""
+    if dim < 1:
+        raise GraphError(f"dimension must be at least 1, got {dim}")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for k in range(dim):
+            u = v ^ (1 << k)
+            if v < u:
+                edges.append((v, u))
+    return LabeledGraph(edges)
+
+
+def grid_graph(rows: int, cols: int) -> LabeledGraph:
+    """The ``rows x cols`` grid; node ``(r, c)`` is id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid dimensions must be positive, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return LabeledGraph(edges, nodes=range(rows * cols))
+
+
+def torus_graph(rows: int, cols: int) -> LabeledGraph:
+    """The ``rows x cols`` torus (wrap-around grid).  Both dimensions must
+    be at least 3 so the graph stays simple."""
+    if rows < 3 or cols < 3:
+        raise GraphError(
+            f"torus dimensions must be at least 3 to stay simple, got {rows}x{cols}"
+        )
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.add(frozenset((v, right)))
+            edges.add(frozenset((v, down)))
+    return LabeledGraph([tuple(sorted(e)) for e in edges])
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> LabeledGraph:
+    """The circulant graph C_n(offsets): node ``i`` joins ``i ± d (mod n)``
+    for every offset ``d``.  Circulants are vertex-transitive — the
+    systematic source of election-impossible instances (C_n(1) is the
+    cycle; C_n(1..k) are the standard "k-th power of a cycle" cases)."""
+    if n < 3:
+        raise GraphError(f"a circulant needs at least 3 nodes, got {n}")
+    cleaned = sorted({d % n for d in offsets} - {0})
+    if not cleaned:
+        raise GraphError("offsets must contain a nonzero residue")
+    edges = set()
+    for v in range(n):
+        for d in cleaned:
+            u = (v + d) % n
+            if u != v:
+                edges.add(frozenset((v, u)))
+    return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+
+
+def wheel_graph(rim: int) -> LabeledGraph:
+    """The wheel W_rim: a ``rim``-cycle (nodes ``1..rim``) plus a hub
+    ``0`` adjacent to every rim node (requires ``rim >= 3``)."""
+    if rim < 3:
+        raise GraphError(f"a wheel needs a rim of at least 3, got {rim}")
+    edges = [(0, i) for i in range(1, rim + 1)]
+    edges += [(i, i % rim + 1) for i in range(1, rim + 1)]
+    return LabeledGraph(edges)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> LabeledGraph:
+    """A caterpillar: a spine path of ``spine`` nodes, each carrying
+    ``legs_per_node`` leaf legs.  Spine nodes are ``0..spine-1``; legs
+    get ids ``spine, spine+1, ...``."""
+    if spine < 1:
+        raise GraphError(f"the spine needs at least 1 node, got {spine}")
+    if legs_per_node < 0:
+        raise GraphError(f"legs_per_node must be nonnegative, got {legs_per_node}")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((i, next_id))
+            next_id += 1
+    return LabeledGraph(edges, nodes=range(next_id))
+
+
+def petersen_graph() -> LabeledGraph:
+    """The Petersen graph: outer 5-cycle 0-4, inner 5-star 5-9, spokes."""
+    edges = []
+    for i in range(5):
+        edges.append((i, (i + 1) % 5))          # outer cycle
+        edges.append((5 + i, 5 + (i + 2) % 5))  # inner pentagram
+        edges.append((i, 5 + i))                # spokes
+    return LabeledGraph(edges)
+
+
+def random_connected_graph(
+    n: int,
+    extra_edge_probability: float = 0.2,
+    seed: int = 0,
+) -> LabeledGraph:
+    """A random connected simple graph on ``n`` nodes.
+
+    Construction: a uniform random spanning tree (random attachment),
+    then each non-tree pair is added independently with
+    ``extra_edge_probability``.  Deterministic for a fixed seed.
+    """
+    if n < 1:
+        raise GraphError(f"need at least 1 node, got {n}")
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise GraphError(
+            f"extra_edge_probability must be in [0, 1], got {extra_edge_probability}"
+        )
+    rng = random.Random(seed)
+    edges = set()
+    for v in range(1, n):
+        parent = rng.randrange(v)
+        edges.add(frozenset((parent, v)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if frozenset((u, v)) not in edges and rng.random() < extra_edge_probability:
+                edges.add(frozenset((u, v)))
+    return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+
+
+def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 1000) -> LabeledGraph:
+    """A random connected ``degree``-regular simple graph on ``n`` nodes.
+
+    Uses the configuration model with rejection of loops/parallel edges
+    and of disconnected outcomes.  ``n * degree`` must be even and
+    ``degree < n``.
+    """
+    if degree < 1 or degree >= n:
+        raise GraphError(f"degree must satisfy 1 <= degree < n, got degree={degree}, n={n}")
+    if (n * degree) % 2 != 0:
+        raise GraphError(f"n * degree must be even, got n={n}, degree={degree}")
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        edges = _configuration_model_attempt(n, degree, rng)
+        if edges is None:
+            continue
+        try:
+            return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+        except GraphError:
+            continue  # disconnected attempt; retry
+    raise GraphError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes "
+        f"in {max_tries} tries"
+    )
+
+
+def _configuration_model_attempt(
+    n: int, degree: int, rng: random.Random
+) -> Optional[List[frozenset]]:
+    stubs = [v for v in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    edges: set = set()
+    for i in range(0, len(stubs), 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v or frozenset((u, v)) in edges:
+            return None
+        edges.add(frozenset((u, v)))
+    return list(edges)
+
+
+def with_uniform_input(graph: LabeledGraph, value: object = 0) -> LabeledGraph:
+    """Attach an ``input`` layer assigning every node the degree plus a
+    constant value — the paper assumes every input label includes the
+    node's degree (Section 1.1)."""
+    return graph.with_layer(
+        "input", {v: (graph.degree(v), value) for v in graph.nodes}
+    )
+
+
+FAMILY_BUILDERS = {
+    "cycle": cycle_graph,
+    "path": path_graph,
+    "complete": complete_graph,
+    "star": star_graph,
+    "hypercube": hypercube_graph,
+    "grid": grid_graph,
+    "torus": torus_graph,
+}
+"""Name -> builder map used by the sweep helpers in ``repro.analysis``."""

@@ -1,0 +1,154 @@
+"""Labeled-graph isomorphism, automorphisms and vertex-transitivity.
+
+Isomorphism here always means *label-respecting* isomorphism: a bijection
+``f`` with ``(u, v) ∈ E ⟺ (f(u), f(v)) ∈ E'`` and ``l(v) = l'(f(v))`` —
+i.e. a bijective factorizing map (paper Section 2.3.1, the ``m = 1``
+case).  Port numberings are deliberately ignored: factors and products
+are port-free notions.
+
+The search is a backtracking matcher with color-refinement pruning,
+adequate for the graph sizes the reproduction manipulates (quotients and
+candidates are small; experiment graphs are a few hundred nodes and are
+only isomorphism-tested in assertions on small cases).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
+
+
+def _refined_classes(graph: LabeledGraph) -> Dict[Node, int]:
+    """Stable color-refinement classes seeded by (label, degree).
+
+    Two nodes in different classes can never correspond under any
+    label-respecting isomorphism, so classes drive the matcher's pruning.
+    """
+    color: Dict[Node, object] = {
+        v: (_freeze(graph.label(v)), graph.degree(v)) for v in graph.nodes
+    }
+    while True:
+        signature = {
+            v: (color[v], tuple(sorted(repr(color[u]) for u in graph.neighbors(v))))
+            for v in graph.nodes
+        }
+        palette = {sig: i for i, sig in enumerate(sorted({repr(s) for s in signature.values()}))}
+        new_color = {v: palette[repr(signature[v])] for v in graph.nodes}
+        if len(set(new_color.values())) == len(set(map(repr, color.values()))):
+            return new_color
+        color = new_color
+
+
+def _class_signature(graph: LabeledGraph, classes: Dict[Node, int]) -> Tuple:
+    """Multiset of (class size, representative label, degree) — a cheap
+    isomorphism invariant used to reject mismatched graphs early."""
+    by_class: Dict[int, List[Node]] = {}
+    for v, c in classes.items():
+        by_class.setdefault(c, []).append(v)
+    return tuple(
+        sorted(
+            (
+                len(members),
+                repr(_freeze(graph.label(members[0]))),
+                graph.degree(members[0]),
+            )
+            for members in by_class.values()
+        )
+    )
+
+
+def _isomorphisms(
+    graph_a: LabeledGraph, graph_b: LabeledGraph
+) -> Iterator[Dict[Node, Node]]:
+    """Yield all label-respecting isomorphisms from ``graph_a`` to ``graph_b``."""
+    if graph_a.num_nodes != graph_b.num_nodes or graph_a.num_edges != graph_b.num_edges:
+        return
+    if graph_a.layer_names != graph_b.layer_names:
+        return
+    classes_a = _refined_classes(graph_a)
+    classes_b = _refined_classes(graph_b)
+    if _class_signature(graph_a, classes_a) != _class_signature(graph_b, classes_b):
+        return
+
+    # Candidate targets for each source node: nodes of graph_b with the
+    # same (label, degree, class size) fingerprint.
+    def fingerprint(graph: LabeledGraph, classes: Dict[Node, int], v: Node) -> Tuple:
+        size = sum(1 for u in classes if classes[u] == classes[v])
+        return (repr(_freeze(graph.label(v))), graph.degree(v), size)
+
+    fp_b: Dict[Tuple, List[Node]] = {}
+    for v in graph_b.nodes:
+        fp_b.setdefault(fingerprint(graph_b, classes_b, v), []).append(v)
+    candidates: Dict[Node, List[Node]] = {}
+    for v in graph_a.nodes:
+        candidates[v] = fp_b.get(fingerprint(graph_a, classes_a, v), [])
+        if not candidates[v]:
+            return
+
+    # Match nodes in order of fewest candidates first.
+    order = sorted(graph_a.nodes, key=lambda v: (len(candidates[v]), repr(v)))
+    mapping: Dict[Node, Node] = {}
+    used: set = set()
+
+    def consistent(v: Node, target: Node) -> bool:
+        for u in graph_a.neighbors(v):
+            if u in mapping and not graph_b.has_edge(mapping[u], target):
+                return False
+        for u in graph_a.nodes:
+            if u in mapping and not graph_a.has_edge(u, v):
+                if graph_b.has_edge(mapping[u], target):
+                    return False
+        return True
+
+    def extend(position: int) -> Iterator[Dict[Node, Node]]:
+        if position == len(order):
+            yield dict(mapping)
+            return
+        v = order[position]
+        for target in candidates[v]:
+            if target in used or not consistent(v, target):
+                continue
+            mapping[v] = target
+            used.add(target)
+            yield from extend(position + 1)
+            del mapping[v]
+            used.discard(target)
+
+    yield from extend(0)
+
+
+def find_isomorphism(
+    graph_a: LabeledGraph, graph_b: LabeledGraph
+) -> Optional[Dict[Node, Node]]:
+    """A label-respecting isomorphism a->b, or ``None`` if none exists."""
+    for mapping in _isomorphisms(graph_a, graph_b):
+        return mapping
+    return None
+
+
+def are_isomorphic(graph_a: LabeledGraph, graph_b: LabeledGraph) -> bool:
+    """Whether the two labeled graphs are isomorphic (``G ≅ G'``)."""
+    return find_isomorphism(graph_a, graph_b) is not None
+
+
+def automorphisms(graph: LabeledGraph) -> List[Dict[Node, Node]]:
+    """All label-respecting automorphisms of ``graph``."""
+    return list(_isomorphisms(graph, graph))
+
+
+def is_vertex_transitive(graph: LabeledGraph) -> bool:
+    """Whether the automorphism group acts transitively on the nodes.
+
+    Vertex-transitive unlabeled graphs are the canonical hard cases for
+    anonymous computation: every node looks identical, so deterministic
+    leader election is impossible (Angluin).  Used by the impossibility
+    experiments.
+    """
+    nodes = graph.nodes
+    orbit = {nodes[0]}
+    for auto in _isomorphisms(graph, graph):
+        orbit.add(auto[nodes[0]])
+        if len(orbit) == graph.num_nodes:
+            return True
+    return len(orbit) == graph.num_nodes

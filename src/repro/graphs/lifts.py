@@ -1,0 +1,136 @@
+"""Constructing *products* (lifts / covering graphs) of a labeled graph.
+
+If ``G' ⪯_f G`` then ``G`` is a product of ``G'`` (paper Section 2.3.1).
+This module goes the other way: given a base graph ``G'`` it constructs
+products, which is how all our factor/product test fixtures and the
+lifting-lemma experiments obtain nontrivial covering pairs.
+
+The construction is the standard *permutation voltage* lift: fix a fiber
+size ``m`` and assign to every base edge ``(u, v)`` (with ``u < v`` in
+node order) a permutation ``π`` of ``{0..m-1}``; the lift has nodes
+``(w, i)`` and edges ``((u, i), (v, π(i)))``.  Node labels and port-free
+structure lift along the projection ``(w, i) -> w``, which is a
+factorizing map by construction.  For example lifting the labeled 3-cycle
+``C3`` with cyclic voltages yields the labeled ``C6`` and ``C12`` of the
+paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.labeled_graph import Edge, LabeledGraph, Node
+
+LiftNode = Tuple[Node, int]
+Voltage = Mapping[Edge, Sequence[int]]
+
+
+def lift_graph(
+    base: LabeledGraph,
+    fiber_size: int,
+    voltages: Optional[Voltage] = None,
+    seed: int = 0,
+) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+    """An ``fiber_size``-lift of ``base`` plus its projection map.
+
+    Parameters
+    ----------
+    base:
+        The base labeled graph ``G'``.
+    fiber_size:
+        Number of copies ``m >= 1`` of each node in the lift.
+    voltages:
+        Optional explicit permutation per base edge (keyed by the sorted
+        edge pair); each permutation is a sequence of ``m`` distinct
+        integers in ``0..m-1``.  When omitted, permutations are sampled
+        with ``seed`` and re-sampled until the lift is connected.
+    seed:
+        RNG seed for sampled voltages.
+
+    Returns
+    -------
+    (lift, projection):
+        ``lift`` is the product graph on nodes ``(v, i)`` carrying the
+        same label layers as ``base`` (lifted along the projection), and
+        ``projection`` maps each lift node to its base node.  The
+        projection is a factorizing map inducing ``base ⪯ lift``.
+    """
+    if fiber_size < 1:
+        raise GraphError(f"fiber_size must be at least 1, got {fiber_size}")
+    if fiber_size > 1 and base.num_edges == base.num_nodes - 1:
+        raise GraphError(
+            "a tree has no connected lift with fiber >= 2 (every voltage "
+            "assignment on a tree is trivial); add a cycle to the base"
+        )
+    if voltages is not None:
+        return _build_lift(base, fiber_size, _validated_voltages(base, fiber_size, voltages))
+
+    rng = random.Random(seed)
+    for _ in range(1000):
+        sampled = {
+            edge: tuple(rng.sample(range(fiber_size), fiber_size))
+            for edge in base.edges()
+        }
+        try:
+            return _build_lift(base, fiber_size, sampled)
+        except GraphError:
+            continue  # disconnected lift; resample voltages
+    raise GraphError(
+        f"failed to sample a connected {fiber_size}-lift of {base!r} in 1000 tries"
+    )
+
+
+def cyclic_lift(
+    base: LabeledGraph, fiber_size: int, shift: int = 1
+) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+    """A lift where one chosen edge gets the cyclic shift ``i -> i+shift``
+    and all other edges the identity permutation.
+
+    On a cycle base this reproduces the paper's Figure 2 tower: the
+    cyclic lift of ``C3`` with fiber 2 is ``C6``; with fiber 4, ``C12``.
+    Connectivity requires ``gcd(shift, fiber_size)`` compatible with the
+    base's cycle structure; a disconnected choice raises ``GraphError``.
+    """
+    edges = list(base.edges())
+    identity = tuple(range(fiber_size))
+    shifted = tuple((i + shift) % fiber_size for i in range(fiber_size))
+    voltages = {edge: identity for edge in edges}
+    voltages[edges[-1]] = shifted
+    return lift_graph(base, fiber_size, voltages=voltages)
+
+
+def _validated_voltages(
+    base: LabeledGraph, fiber_size: int, voltages: Voltage
+) -> Dict[Edge, Tuple[int, ...]]:
+    validated: Dict[Edge, Tuple[int, ...]] = {}
+    for edge in base.edges():
+        if edge not in voltages:
+            raise GraphError(f"missing voltage for edge {edge!r}")
+        perm = tuple(voltages[edge])
+        if sorted(perm) != list(range(fiber_size)):
+            raise GraphError(
+                f"voltage for edge {edge!r} must be a permutation of "
+                f"0..{fiber_size - 1}, got {perm!r}"
+            )
+        validated[edge] = perm
+    return validated
+
+
+def _build_lift(
+    base: LabeledGraph, fiber_size: int, voltages: Dict[Edge, Tuple[int, ...]]
+) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+    lift_edges = []
+    for (u, v) in base.edges():
+        perm = voltages[(u, v)]
+        for i in range(fiber_size):
+            lift_edges.append(((u, i), (v, perm[i])))
+    nodes = [(v, i) for v in base.nodes for i in range(fiber_size)]
+    layers = {
+        name: {(v, i): base.label_of(v, name) for (v, i) in nodes}
+        for name in base.layer_names
+    }
+    lift = LabeledGraph(lift_edges, nodes=nodes, layers=layers)
+    projection = {(v, i): v for (v, i) in nodes}
+    return lift, projection

@@ -1,0 +1,70 @@
+"""Structural graph properties: connectivity, diameter, regularity.
+
+These are centralized (whole-graph) computations used by builders,
+validity checks and the analysis harness — not by the anonymous
+algorithms themselves, which only ever see local information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """Whether the graph is connected (always true for graphs built with
+    ``check_connected=True``; useful on fragments)."""
+    start = graph.nodes[0]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == graph.num_nodes
+
+
+def eccentricity(graph: LabeledGraph, v: Node) -> int:
+    """Largest hop distance from ``v`` to any node."""
+    distances = _bfs_distances(graph, v)
+    if len(distances) != graph.num_nodes:
+        raise GraphError("eccentricity is undefined on a disconnected graph")
+    return max(distances.values())
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """Largest hop distance between any two nodes."""
+    return max(eccentricity(graph, v) for v in graph.nodes)
+
+
+def degree_profile(graph: LabeledGraph) -> Tuple[int, ...]:
+    """The sorted multiset of node degrees."""
+    return tuple(sorted(graph.degree(v) for v in graph.nodes))
+
+
+def is_regular(graph: LabeledGraph) -> bool:
+    """Whether all nodes have equal degree."""
+    degrees = degree_profile(graph)
+    return degrees[0] == degrees[-1]
+
+
+def max_degree(graph: LabeledGraph) -> int:
+    return max(graph.degree(v) for v in graph.nodes)
+
+
+def _bfs_distances(graph: LabeledGraph, source: Node) -> Dict[Node, int]:
+    distances = {source: 0}
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        for current in frontier:
+            for neighbor in graph.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances

@@ -1,0 +1,40 @@
+"""Graph coloring problems: the 1-hop classic and the k-hop variants.
+
+The paper highlights that the 2-hop variant of coloring is still in GRAN
+while every k-hop variant with ``k > 2`` is not (Section 1.2) — the
+``k > 2`` case is exercised by our impossibility experiments, which is
+why :class:`KHopColoringProblem` is parameterized rather than fixed at
+``k ∈ {1, 2}``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProblemError
+from repro.graphs.coloring import is_k_hop_coloring
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.problems.problem import DistributedProblem, OutputLabeling
+
+
+class KHopColoringProblem(DistributedProblem):
+    """Output a proper k-hop coloring of the input graph."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ProblemError(f"k must be at least 1, got {k}")
+        self.k = k
+        self.name = f"{k}-hop-coloring"
+
+    def is_instance(self, graph: LabeledGraph) -> bool:
+        return self.inputs_well_formed(graph)
+
+    def is_valid_output(self, graph: LabeledGraph, outputs: OutputLabeling) -> bool:
+        self.require_total(graph, outputs)
+        return is_k_hop_coloring(graph, dict(outputs), self.k)
+
+
+class ColoringProblem(KHopColoringProblem):
+    """Classic (1-hop) graph coloring: adjacent nodes differ."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+        self.name = "coloring"

@@ -1,0 +1,93 @@
+"""The maximal matching problem.
+
+Anonymity makes the *output format* of matching interesting: a node
+cannot name its partner, so matched nodes output the token pair
+``("matched", my_token, partner_token)`` established during the
+handshake, and unmatched nodes output ``("unmatched",)``.  An output
+labeling is valid when **some** maximal matching is consistent with it:
+there is a perfect pairing of the matched nodes along edges whose
+endpoint outputs are mutually reciprocal, and no two unmatched nodes are
+adjacent.  (Existence-based validity keeps the problem well-defined even
+if distinct pairs happen to pick colliding tokens.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.problems.problem import DistributedProblem, OutputLabeling
+
+MATCHED = "matched"
+UNMATCHED = "unmatched"
+
+
+class MaximalMatchingProblem(DistributedProblem):
+    """Maximal matching with token-pair outputs."""
+
+    name = "maximal-matching"
+
+    def is_instance(self, graph: LabeledGraph) -> bool:
+        return self.inputs_well_formed(graph)
+
+    def is_valid_output(self, graph: LabeledGraph, outputs: OutputLabeling) -> bool:
+        self.require_total(graph, outputs)
+        matched: List[Node] = []
+        for v in graph.nodes:
+            value = outputs[v]
+            if not isinstance(value, tuple) or not value:
+                return False
+            if value[0] == MATCHED:
+                if len(value) != 3:
+                    return False
+                matched.append(v)
+            elif value[0] == UNMATCHED:
+                if len(value) != 1:
+                    return False
+            else:
+                return False
+
+        # Maximality: no two adjacent unmatched nodes.
+        for u, v in graph.edges():
+            if outputs[u][0] == UNMATCHED and outputs[v][0] == UNMATCHED:
+                return False
+
+        # Candidate partner edges: adjacent matched pairs with reciprocal
+        # tokens.
+        candidates: Dict[Node, List[Node]] = {v: [] for v in matched}
+        for u, v in graph.edges():
+            if outputs[u][0] == MATCHED and outputs[v][0] == MATCHED:
+                _, token_u, partner_u = outputs[u]
+                _, token_v, partner_v = outputs[v]
+                if partner_u == token_v and partner_v == token_u:
+                    candidates[u].append(v)
+                    candidates[v].append(u)
+
+        return _perfect_pairing_exists(matched, candidates)
+
+
+def _perfect_pairing_exists(
+    matched: List[Node], candidates: Dict[Node, List[Node]]
+) -> bool:
+    """Whether the matched nodes admit a perfect pairing along candidate
+    edges.  Backtracking; candidate edges are nearly a perfect matching
+    already in honest executions, so this is fast in practice."""
+    unpaired: Set[Node] = set(matched)
+
+    def backtrack() -> bool:
+        if not unpaired:
+            return True
+        v = min(unpaired, key=repr)
+        options = [u for u in candidates[v] if u in unpaired and u != v]
+        if not options:
+            return False
+        for u in options:
+            unpaired.discard(v)
+            unpaired.discard(u)
+            if backtrack():
+                return True
+            unpaired.add(v)
+            unpaired.add(u)
+        return False
+
+    return backtrack()

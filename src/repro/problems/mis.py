@@ -1,0 +1,34 @@
+"""The maximal independent set problem (paper Sections 1, 1.2).
+
+Instances: every connected labeled graph with well-formed inputs.
+Outputs: ``True`` (in the MIS) / ``False`` (not in it); valid when the
+``True`` set is independent and maximal.  MIS is the paper's flagship
+member of GRAN: solvable by randomized anonymous algorithms, unsolvable
+deterministically without symmetry-breaking labels.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.problems.problem import DistributedProblem, OutputLabeling
+
+
+class MISProblem(DistributedProblem):
+    """Maximal independent set."""
+
+    name = "mis"
+
+    def is_instance(self, graph: LabeledGraph) -> bool:
+        return self.inputs_well_formed(graph)
+
+    def is_valid_output(self, graph: LabeledGraph, outputs: OutputLabeling) -> bool:
+        self.require_total(graph, outputs)
+        if not all(isinstance(outputs[v], bool) for v in graph.nodes):
+            return False
+        for u, v in graph.edges():
+            if outputs[u] and outputs[v]:
+                return False  # not independent
+        for v in graph.nodes:
+            if not outputs[v] and not any(outputs[u] for u in graph.neighbors(v)):
+                return False  # not maximal
+        return True

@@ -1,0 +1,132 @@
+"""Simulations induced by bit assignments, and seeded random executions.
+
+``simulate_with_assignment(A, G, b)`` is the paper's *t-round simulation
+of A on G induced by b* (Section 2.2): every node's randomness is
+replaced by its fixed bitstring ``b(v)``; the simulation lasts
+``l = min_v floor(|b(v)| / bits_per_round)`` rounds and is *successful*
+when every node produces an output within those rounds.
+
+``run_randomized(A, G, seed)`` runs a genuine randomized execution from
+a seeded source while recording the bits drawn, so the execution can be
+replayed (``result.trace.assignment()``) or lifted to a product graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import SimulationError
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.runtime.scheduler import ExecutionResult, SynchronousScheduler
+from repro.runtime.tape import FixedTape, RandomTape, RecordingTape
+from repro.runtime.trace import ExecutionTrace
+
+Assignment = Mapping[Node, str]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation induced by a bit assignment.
+
+    ``successful`` is the paper's success notion: every node produced an
+    output within the rounds funded by the assignment.
+    """
+
+    outputs: Dict[Node, Any]
+    rounds: int
+    successful: bool
+    trace: Optional[ExecutionTrace]
+
+    def output_of(self, node: Node) -> Any:
+        if node not in self.outputs:
+            raise SimulationError(f"node {node!r} produced no output")
+        return self.outputs[node]
+
+
+def simulate_with_assignment(
+    algorithm: AnonymousAlgorithm,
+    graph: LabeledGraph,
+    assignment: Assignment,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """The simulation of ``algorithm`` on ``graph`` induced by ``assignment``."""
+    missing = [v for v in graph.nodes if v not in assignment]
+    if missing:
+        raise SimulationError(f"assignment does not cover nodes {missing!r}")
+    if algorithm.bits_per_round == 0:
+        raise SimulationError(
+            "simulations induced by an assignment require a randomized "
+            "algorithm (bits_per_round >= 1); deterministic algorithms "
+            "should be run via SynchronousScheduler directly"
+        )
+    tapes = {v: FixedTape(assignment[v]) for v in graph.nodes}
+    rounds_funded = min(
+        len(assignment[v]) // algorithm.bits_per_round for v in graph.nodes
+    )
+    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
+    result = scheduler.run(max_rounds=rounds_funded)
+    return SimulationResult(
+        outputs=result.outputs,
+        rounds=result.rounds,
+        successful=result.all_decided,
+        trace=result.trace,
+    )
+
+
+def simulation_is_successful(
+    algorithm: AnonymousAlgorithm, graph: LabeledGraph, assignment: Assignment
+) -> bool:
+    """Whether the simulation induced by ``assignment`` is successful."""
+    return simulate_with_assignment(algorithm, graph, assignment).successful
+
+
+def run_randomized(
+    algorithm: AnonymousAlgorithm,
+    graph: LabeledGraph,
+    seed: int,
+    max_rounds: int = 10_000,
+    record_trace: bool = True,
+) -> ExecutionResult:
+    """A seeded randomized execution with recorded bits.
+
+    Deterministic algorithms run the same way with zero bits per round.
+    Raises :class:`SimulationError` if the round limit is exceeded —
+    Las-Vegas algorithms terminate with probability 1, so hitting the
+    limit on reasonable inputs indicates a bug or an adversarial case.
+    """
+    tapes = {
+        v: RecordingTape(RandomTape(seed * 1_000_003 + index))
+        for index, v in enumerate(graph.nodes)
+    }
+    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
+    result = scheduler.run(max_rounds=max_rounds)
+    if not result.all_decided:
+        raise SimulationError(
+            f"{algorithm.name} did not terminate within {max_rounds} rounds "
+            f"on {graph!r} with seed {seed}"
+        )
+    return result
+
+
+def run_deterministic(
+    algorithm: AnonymousAlgorithm,
+    graph: LabeledGraph,
+    max_rounds: int = 10_000,
+    record_trace: bool = True,
+) -> ExecutionResult:
+    """Run a deterministic algorithm (``bits_per_round == 0``)."""
+    if not algorithm.is_deterministic:
+        raise SimulationError(
+            f"{algorithm.name} is randomized; use run_randomized or "
+            "simulate_with_assignment"
+        )
+    tapes = {v: FixedTape("") for v in graph.nodes}
+    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
+    result = scheduler.run(max_rounds=max_rounds)
+    if not result.all_decided:
+        raise SimulationError(
+            f"{algorithm.name} did not terminate within {max_rounds} rounds on {graph!r}"
+        )
+    return result

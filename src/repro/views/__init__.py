@@ -1,0 +1,37 @@
+"""Local views, color refinement and the universal cover.
+
+The *depth-d local view* ``L_d(v, G)`` (paper Section 1.1, Figure 1) is
+the rooted marked tree a deterministic anonymous algorithm at ``v`` could
+learn in ``d`` rounds.  This package builds views explicitly
+(:mod:`repro.views.view_tree`, :mod:`repro.views.local_views`), computes
+the view-equivalence partition efficiently by color refinement
+(:mod:`repro.views.refinement` — the two are cross-checked in tests), and
+exposes the universal cover (:mod:`repro.views.universal_cover`).
+"""
+
+from repro.views.view_tree import ViewTree
+from repro.views.local_views import (
+    all_views,
+    view,
+    view_partition,
+)
+from repro.views.refinement import (
+    RefinementResult,
+    color_refinement,
+    refinement_partition,
+    stabilization_depth,
+)
+from repro.views.universal_cover import universal_cover_ball, view_to_cover_ball
+
+__all__ = [
+    "ViewTree",
+    "view",
+    "all_views",
+    "view_partition",
+    "RefinementResult",
+    "color_refinement",
+    "refinement_partition",
+    "stabilization_depth",
+    "universal_cover_ball",
+    "view_to_cover_ball",
+]

@@ -1,0 +1,57 @@
+"""Computing the local views ``L_d(v, G)`` of the paper's Section 1.1.
+
+The construction is the paper's inductive definition: ``L_1(v)`` is a
+single vertex marked ``l(v)``; ``L_{d+1}(v)`` connects the root of
+``L_d(u)`` as a child of a fresh ``l(v)``-marked root for every neighbor
+``u``.  Views are built bottom-up across the whole graph so the interning
+in :mod:`repro.views.view_tree` shares every repeated subtree — a single
+``all_views(G, d)`` call allocates ``O(n · d)`` tree objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ViewError
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.views.view_tree import ViewTree
+
+
+def all_views(graph: LabeledGraph, depth: int) -> Dict[Node, ViewTree]:
+    """The views ``L_depth(v, graph)`` for every node ``v``."""
+    if depth < 1:
+        raise ViewError(f"view depth must be at least 1, got {depth}")
+    current: Dict[Node, ViewTree] = {
+        v: ViewTree.leaf(graph.label(v)) for v in graph.nodes
+    }
+    for _ in range(depth - 1):
+        current = {
+            v: ViewTree.make(graph.label(v), [current[u] for u in graph.neighbors(v)])
+            for v in graph.nodes
+        }
+    return current
+
+
+def view(graph: LabeledGraph, v: Node, depth: int) -> ViewTree:
+    """The view ``L_depth(v, graph)`` of a single node."""
+    if not graph.has_node(v):
+        raise ViewError(f"unknown node {v!r}")
+    return all_views(graph, depth)[v]
+
+
+def view_partition(graph: LabeledGraph, depth: int) -> List[Tuple[Node, ...]]:
+    """Nodes grouped by equal depth-``depth`` views, each group sorted,
+    groups ordered by the view order.
+
+    At ``depth = n`` (the node count) this is the ``L_∞`` partition by
+    Norris's theorem — the fibers of the infinite view map ``f_∞``.
+    """
+    views = all_views(graph, depth)
+    groups: Dict[int, List[Node]] = {}
+    representative: Dict[int, ViewTree] = {}
+    for v in graph.nodes:
+        tree = views[v]
+        groups.setdefault(id(tree), []).append(v)
+        representative[id(tree)] = tree
+    ordered = sorted(groups, key=lambda key: representative[key].sort_key())
+    return [tuple(groups[key]) for key in ordered]

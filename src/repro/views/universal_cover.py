@@ -1,0 +1,78 @@
+"""The universal cover ``U(G)`` (paper Section 1.3).
+
+The paper relates ``U(G)`` to local views: the (un-rooted) universal
+cover is obtained from ``L_∞(v)`` by pruning, at every non-root vertex,
+the child corresponding to that vertex's parent — i.e. ``U(G)`` is the
+tree of *non-backtracking* walks, whereas ``L_d`` is the tree of all
+walks.  We expose finite balls of ``U(G)`` and the pruning operation
+itself; tests confirm the stated relationship
+``prune(L_d(v)) = ball(G, v, d - 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ViewError
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.views.view_tree import ViewTree
+
+
+def universal_cover_ball(graph: LabeledGraph, base: Node, radius: int) -> ViewTree:
+    """The radius-``radius`` ball of ``U(G)`` around a lift of ``base``,
+    as a rooted marked tree (vertices = non-backtracking walks from
+    ``base`` of length at most ``radius``)."""
+    if not graph.has_node(base):
+        raise ViewError(f"unknown node {base!r}")
+    if radius < 0:
+        raise ViewError(f"radius must be nonnegative, got {radius}")
+    return _ball(graph, base, parent=None, remaining=radius)
+
+
+def _ball(
+    graph: LabeledGraph, node: Node, parent: Optional[Node], remaining: int
+) -> ViewTree:
+    if remaining == 0:
+        return ViewTree.leaf(graph.label(node))
+    children = [
+        _ball(graph, neighbor, parent=node, remaining=remaining - 1)
+        for neighbor in graph.neighbors(node)
+        if neighbor != parent
+    ]
+    return ViewTree.make(graph.label(node), children)
+
+
+def view_to_cover_ball(view_tree: ViewTree) -> ViewTree:
+    """Prune a local view ``L_d(v)`` into the universal-cover ball of
+    radius ``d - 1``.
+
+    In a view, the children of a vertex representing node ``u`` reached
+    from parent node ``w`` are the views ``L_{k-1}`` of *all* of ``u``'s
+    neighbors — including ``w`` itself.  The child corresponding to the
+    parent is therefore exactly the parent's own view truncated one level
+    below the child depth, which the recursion carries along and removes.
+    If two children tie structurally, removing either yields the same
+    canonical tree, so the choice is immaterial.
+    """
+    return _prune(view_tree, back=None)
+
+
+def _prune(tree: ViewTree, back: Optional[ViewTree]) -> ViewTree:
+    children = list(tree.children)
+    if back is not None:
+        for i, child in enumerate(children):
+            if child is back:
+                del children[i]
+                break
+        else:
+            raise ViewError(
+                "view tree has no child matching its parent; "
+                "input is not a local view of a graph"
+            )
+    pruned = []
+    for child in children:
+        if child.depth == 1:
+            pruned.append(child)
+        else:
+            pruned.append(_prune(child, back=tree.truncate(child.depth - 1)))
+    return ViewTree.make(tree.mark, pruned)

@@ -1,0 +1,221 @@
+"""Immutable, hash-consed rooted marked trees representing local views.
+
+A :class:`ViewTree` is the tree object of the paper's ``L_d(v, G)``: a
+root *vertex* carrying a *mark* (the node label) with one child subtree
+per neighbor.  Three design points matter:
+
+* **Hash-consing.**  The same subtree (``L_{d-1}(u)``) appears in the
+  views of all of ``u``'s neighbors, so trees are interned: structurally
+  equal trees are the *same* Python object, equality is identity, and a
+  depth-``d`` view over an ``n``-node graph costs ``O(n · d)`` distinct
+  tree objects even though its expanded size is exponential.
+
+* **Canonical child order.**  Children are stored sorted under the
+  structural total order below.  The paper (Section 2.1) canonicalizes by
+  fixing a total order among the children of each vertex — possible there
+  because 2-hop coloring makes sibling marks distinct; our order is
+  defined for arbitrary trees and coincides with any mark-based order on
+  2-hop colored graphs.  Sorting makes tree equality equal to view
+  equality (children are a multiset, not a sequence, because a node does
+  not know which neighbor is "first").
+
+* **Structural total order.**  ``ViewTree.compare`` orders trees by
+  depth, then root mark (serialized), then children lexicographically.
+  It is construction-order independent, so every node of a distributed
+  algorithm computes the *same* order — the property Lemma 1 needs.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graphs.labeled_graph import _freeze
+
+_INTERN: Dict[Tuple, "ViewTree"] = {}
+_COMPARE_CACHE: Dict[Tuple[int, int], int] = {}
+_TRUNCATE_CACHE: Dict[Tuple[int, int], "ViewTree"] = {}
+
+
+class ViewTree:
+    """A hash-consed rooted marked tree.  Use :meth:`make`, not ``__init__``."""
+
+    __slots__ = ("mark", "children", "depth", "size", "_mark_key", "__weakref__")
+
+    mark: Any
+    children: Tuple["ViewTree", ...]
+    depth: int
+    size: int
+
+    def __init__(self, mark: Any, children: Tuple["ViewTree", ...], _token: object) -> None:
+        if _token is not _MAKE_TOKEN:
+            raise TypeError("use ViewTree.make(mark, children) — trees are interned")
+        self.mark = mark
+        self.children = children
+        self.depth = 1 + (max(c.depth for c in children) if children else 0)
+        self.size = 1 + sum(c.size for c in children)
+        self._mark_key = repr(_freeze(mark))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def make(mark: Any, children: Sequence["ViewTree"] = ()) -> "ViewTree":
+        """The interned tree with the given root mark and child multiset."""
+        ordered = tuple(sorted(children, key=functools.cmp_to_key(ViewTree.compare)))
+        key = (repr(_freeze(mark)), tuple(id(c) for c in ordered))
+        tree = _INTERN.get(key)
+        if tree is None:
+            tree = ViewTree(mark, ordered, _MAKE_TOKEN)
+            _INTERN[key] = tree
+        return tree
+
+    @staticmethod
+    def leaf(mark: Any) -> "ViewTree":
+        """The single-vertex tree ``L_1`` with the given mark."""
+        return ViewTree.make(mark, ())
+
+    # ------------------------------------------------------------------
+    # Total order
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def compare(a: "ViewTree", b: "ViewTree") -> int:
+        """Structural three-way comparison; negative when ``a`` precedes ``b``.
+
+        Order: by depth, then by serialized root mark, then by the child
+        lists compared lexicographically (shorter list first on ties).
+        Depth-first ordering matches the paper's convention that shorter
+        objects precede longer ones (cf. the assignment order in §2.2).
+        """
+        if a is b:
+            return 0
+        key = (id(a), id(b))
+        cached = _COMPARE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result = ViewTree._compare_uncached(a, b)
+        _COMPARE_CACHE[key] = result
+        _COMPARE_CACHE[(id(b), id(a))] = -result
+        return result
+
+    @staticmethod
+    def _compare_uncached(a: "ViewTree", b: "ViewTree") -> int:
+        if a.depth != b.depth:
+            return -1 if a.depth < b.depth else 1
+        if a._mark_key != b._mark_key:
+            return -1 if a._mark_key < b._mark_key else 1
+        for child_a, child_b in zip(a.children, b.children):
+            result = ViewTree.compare(child_a, child_b)
+            if result != 0:
+                return result
+        if len(a.children) != len(b.children):
+            return -1 if len(a.children) < len(b.children) else 1
+        return 0
+
+    def sort_key(self) -> Any:
+        """A key usable with ``sorted`` (wraps :meth:`compare`)."""
+        return functools.cmp_to_key(ViewTree.compare)(self)
+
+    def __lt__(self, other: "ViewTree") -> bool:
+        return ViewTree.compare(self, other) < 0
+
+    def __le__(self, other: "ViewTree") -> bool:
+        return ViewTree.compare(self, other) <= 0
+
+    # Equality is identity thanks to interning; object.__eq__/__hash__ apply.
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def truncate(self, depth: int) -> "ViewTree":
+        """The depth-``depth`` truncation (the paper's ``f_n`` on views).
+
+        ``truncate(d)`` of a depth-``k`` view, ``k >= d``, is the depth-``d``
+        view of the same node.  Requesting more depth than available
+        returns the tree unchanged.
+        """
+        if depth < 1:
+            raise ValueError(f"truncation depth must be at least 1, got {depth}")
+        if self.depth <= depth:
+            return self
+        key = (id(self), depth)
+        cached = _TRUNCATE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        if depth == 1:
+            result = ViewTree.leaf(self.mark)
+        else:
+            result = ViewTree.make(
+                self.mark, [child.truncate(depth - 1) for child in self.children]
+            )
+        _TRUNCATE_CACHE[key] = result
+        return result
+
+    def subtrees(self) -> Iterator["ViewTree"]:
+        """All distinct subtrees (including self), each yielded once."""
+        seen: set = set()
+        stack: List[ViewTree] = [self]
+        while stack:
+            tree = stack.pop()
+            if id(tree) in seen:
+                continue
+            seen.add(id(tree))
+            yield tree
+            stack.extend(tree.children)
+
+    def level_marks(self, level: int) -> Tuple[Any, ...]:
+        """The marks at tree depth ``level`` (root is level 1), in canonical
+        child order — the per-level data the paper compares views by."""
+        if level < 1:
+            raise ValueError(f"level must be at least 1, got {level}")
+        current: List[ViewTree] = [self]
+        for _ in range(level - 1):
+            current = [child for tree in current for child in tree.children]
+        return tuple(tree.mark for tree in current)
+
+    def render(self, max_depth: Optional[int] = None, indent: str = "") -> str:
+        """Human-readable multi-line rendering (used to print Figure 1)."""
+        lines = [f"{indent}{self.mark!r}"]
+        if max_depth is None or max_depth > 1:
+            next_depth = None if max_depth is None else max_depth - 1
+            for child in self.children:
+                lines.append(child.render(next_depth, indent + "  "))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ViewTree(mark={self.mark!r}, depth={self.depth}, size={self.size})"
+
+
+_MAKE_TOKEN = object()
+
+
+def intern_stats() -> Dict[str, int]:
+    """Sizes of the intern and comparison caches (for perf diagnostics)."""
+    return {"trees": len(_INTERN), "comparisons": len(_COMPARE_CACHE)}
+
+
+def view_to_dict(tree: ViewTree) -> dict:
+    """A JSON-compatible description of a view tree.
+
+    Marks must be JSON-representable (the same constraint as
+    :mod:`repro.graphs.io`, whose encoding is reused); shared subtrees
+    are expanded, so this is meant for figure-sized views, not for
+    depth-n views of large graphs.
+    """
+    from repro.graphs.io import _encode
+
+    return {
+        "mark": _encode(tree.mark),
+        "children": [view_to_dict(child) for child in tree.children],
+    }
+
+
+def view_from_dict(data: dict) -> ViewTree:
+    """Rebuild an interned view tree from :func:`view_to_dict` output."""
+    from repro.graphs.io import _decode
+
+    children = [view_from_dict(child) for child in data["children"]]
+    return ViewTree.make(_decode(data["mark"]), children)

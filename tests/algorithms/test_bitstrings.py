@@ -1,0 +1,68 @@
+"""Tests for the bitstring comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bitstrings import (
+    bitstring_order_key,
+    diverged,
+    prefix_related,
+    stream_greater,
+)
+
+bits = st.text(alphabet="01", max_size=12)
+
+
+class TestPredicates:
+    def test_prefix_related_basic(self):
+        assert prefix_related("01", "010")
+        assert prefix_related("010", "01")
+        assert prefix_related("", "1")
+        assert prefix_related("01", "01")
+        assert not prefix_related("01", "001")
+
+    def test_diverged_basic(self):
+        assert diverged("01", "00")
+        assert not diverged("01", "010")
+
+    def test_stream_greater(self):
+        assert stream_greater("1", "0")
+        assert stream_greater("01", "001")
+        assert not stream_greater("001", "01")
+
+    def test_stream_greater_requires_divergence(self):
+        with pytest.raises(ValueError, match="prefix-related"):
+            stream_greater("01", "010")
+
+    def test_order_key(self):
+        assert bitstring_order_key("1") < bitstring_order_key("00")
+        assert bitstring_order_key("01") < bitstring_order_key("10")
+
+
+class TestProperties:
+    @given(bits, bits)
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_one_of_prefix_or_diverged(self, a, b):
+        assert prefix_related(a, b) != diverged(a, b)
+
+    @given(bits, bits)
+    @settings(max_examples=200, deadline=None)
+    def test_divergence_permanent_under_extension(self, a, b):
+        if diverged(a, b):
+            assert diverged(a + "0", b)
+            assert diverged(a, b + "1")
+            assert diverged(a + "11", b + "00")
+
+    @given(bits, bits)
+    @settings(max_examples=200, deadline=None)
+    def test_stream_order_antisymmetric(self, a, b):
+        if diverged(a, b):
+            assert stream_greater(a, b) != stream_greater(b, a)
+
+    @given(bits, bits, bits)
+    @settings(max_examples=200, deadline=None)
+    def test_stream_order_stable_under_extension(self, a, b, ext):
+        if diverged(a, b):
+            assert stream_greater(a + ext, b) == stream_greater(a, b)

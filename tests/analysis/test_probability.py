@@ -1,0 +1,70 @@
+"""Tests for success-probability measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.analysis.probability import measure_success_curve
+from repro.graphs.builders import cycle_graph, path_graph, with_uniform_input
+
+
+class TestSuccessCurve:
+    def test_monotone_in_length(self):
+        g = with_uniform_input(path_graph(3))
+        curve = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[1, 2, 4, 8], samples_per_length=120
+        )
+        probabilities = [p for (_t, p) in curve.points]
+        # More bits can only help; sampling noise stays within a margin.
+        for earlier, later in zip(probabilities, probabilities[1:]):
+            assert later >= earlier - 0.1
+
+    def test_too_short_never_succeeds(self):
+        g = with_uniform_input(cycle_graph(4))
+        curve = measure_success_curve(
+            TwoHopColoringAlgorithm(), g, lengths=[1, 2], samples_per_length=50
+        )
+        assert curve.probability_at(1) == 0.0
+        assert curve.probability_at(2) == 0.0  # commits start at round 3
+
+    def test_long_assignments_almost_surely_succeed(self):
+        g = with_uniform_input(path_graph(3))
+        curve = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[16], samples_per_length=100
+        )
+        assert curve.probability_at(16) >= 0.95
+
+    def test_first_feasible_length(self):
+        g = with_uniform_input(path_graph(2))
+        curve = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[1, 2, 3, 8], samples_per_length=100
+        )
+        assert curve.first_feasible_length in (2, 3)
+
+    def test_expected_trials(self):
+        g = with_uniform_input(path_graph(2))
+        curve = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[1, 8], samples_per_length=100
+        )
+        assert curve.expected_trials(1) == float("inf")
+        assert 1.0 <= curve.expected_trials(8) <= 3.0
+
+    def test_unknown_length_raises(self):
+        g = with_uniform_input(path_graph(2))
+        curve = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[4], samples_per_length=10
+        )
+        with pytest.raises(KeyError):
+            curve.probability_at(5)
+
+    def test_deterministic_for_seed(self):
+        g = with_uniform_input(path_graph(3))
+        a = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[4], samples_per_length=60, seed=5
+        )
+        b = measure_success_curve(
+            AnonymousMISAlgorithm(), g, lengths=[4], samples_per_length=60, seed=5
+        )
+        assert a == b

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+
+
+def colored(graph):
+    """Attach a greedy 2-hop coloring as the ``color`` layer."""
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+@pytest.fixture
+def c6():
+    return with_uniform_input(cycle_graph(6))
+
+
+@pytest.fixture
+def c6_colored(c6):
+    return colored(c6)
+
+
+@pytest.fixture
+def p4():
+    return with_uniform_input(path_graph(4))
+
+
+@pytest.fixture
+def k4():
+    return with_uniform_input(complete_graph(4))
+
+
+@pytest.fixture
+def star5():
+    return with_uniform_input(star_graph(5))
+
+
+@pytest.fixture
+def petersen():
+    return with_uniform_input(petersen_graph())
+
+
+def small_graph_zoo():
+    """A deterministic list of small well-formed instances used by
+    parametrized tests across the suite."""
+    from repro.graphs.builders import (
+        binary_tree_graph,
+        complete_bipartite_graph,
+        grid_graph,
+        hypercube_graph,
+        random_connected_graph,
+        torus_graph,
+    )
+
+    zoo = [
+        ("single", path_graph(1)),
+        ("edge", path_graph(2)),
+        ("path-4", path_graph(4)),
+        ("path-5", path_graph(5)),
+        ("cycle-3", cycle_graph(3)),
+        ("cycle-4", cycle_graph(4)),
+        ("cycle-6", cycle_graph(6)),
+        ("cycle-7", cycle_graph(7)),
+        ("complete-4", complete_graph(4)),
+        ("complete-5", complete_graph(5)),
+        ("star-4", star_graph(4)),
+        ("bipartite-2-3", complete_bipartite_graph(2, 3)),
+        ("tree-depth-2", binary_tree_graph(2)),
+        ("grid-2x3", grid_graph(2, 3)),
+        ("hypercube-3", hypercube_graph(3)),
+        ("torus-3x3", torus_graph(3, 3)),
+        ("petersen", petersen_graph()),
+        ("random-7", random_connected_graph(7, 0.3, seed=11)),
+        ("random-9", random_connected_graph(9, 0.25, seed=12)),
+    ]
+    return [(name, with_uniform_input(graph)) for name, graph in zoo]

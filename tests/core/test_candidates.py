@@ -1,0 +1,88 @@
+"""Tests for candidate enumeration (conditions C1-C3 of Update-Graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import enumerate_candidates, observed_marks
+from repro.exceptions import CandidateError
+from repro.graphs.builders import cycle_graph, path_graph, with_uniform_input
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.isomorphism import are_isomorphic
+from repro.problems.mis import MISProblem
+from repro.problems.problem import TwoHopColoredVariant
+from repro.views.local_views import view
+
+LAYERS = ("input", "color", "bits")
+PROBLEM_C = TwoHopColoredVariant(MISProblem())
+
+
+def prepared(graph):
+    """Attach color and empty-bits layers the way A_* phases see them."""
+    colored = apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+    return colored.with_layer("bits", {v: "" for v in colored.nodes})
+
+
+class TestObservedMarks:
+    def test_marks_cover_all_labels(self):
+        instance = prepared(with_uniform_input(path_graph(3)))
+        t = view(instance, 0, 3)
+        marks = observed_marks(t)
+        assert len(marks) == 3  # three distinct (input, color, bits) labels
+
+    def test_marks_deduplicated(self):
+        instance = prepared(with_uniform_input(cycle_graph(3)))
+        t = view(instance, 1, 4)
+        # C3 colored with 3 colors: exactly 3 distinct marks despite the
+        # exponentially many vertices.
+        assert len(observed_marks(t)) == 3
+
+
+class TestEnumerate:
+    def test_instance_itself_is_found(self):
+        """At phase >= 2n the node's own finite view graph must appear as
+        a candidate (Lemma 6)."""
+        instance = prepared(with_uniform_input(cycle_graph(3)))
+        t = view(instance, 0, 6)
+        candidates = enumerate_candidates(t, 6, PROBLEM_C, LAYERS, max_nodes=3)
+        assert candidates  # nonempty
+        smallest = candidates[0]
+        assert are_isomorphic(smallest.finite_view, instance)
+
+    def test_anchor_view_matches(self):
+        instance = prepared(with_uniform_input(path_graph(2)))
+        p = 4
+        t = view(instance, 0, p)
+        candidates = enumerate_candidates(t, p, PROBLEM_C, LAYERS, max_nodes=2)
+        for candidate in candidates:
+            anchor_view = view(candidate.graph, candidate.anchor, p)
+            assert anchor_view is t
+
+    def test_candidates_sorted_by_finite_view_order(self):
+        instance = prepared(with_uniform_input(path_graph(2)))
+        t = view(instance, 0, 3)
+        candidates = enumerate_candidates(t, 3, PROBLEM_C, LAYERS, max_nodes=3)
+        keys = [c.sort_key for c in candidates]
+        assert keys == sorted(keys)
+
+    def test_phase_caps_candidate_size(self):
+        instance = prepared(with_uniform_input(path_graph(3)))
+        t = view(instance, 0, 1)
+        candidates = enumerate_candidates(t, 1, PROBLEM_C, LAYERS, max_nodes=4)
+        assert all(c.graph.num_nodes <= 1 for c in candidates)
+
+    def test_budget_guard(self):
+        instance = prepared(with_uniform_input(cycle_graph(5)))
+        t = view(instance, 0, 4)
+        with pytest.raises(CandidateError, match="budget"):
+            enumerate_candidates(t, 4, PROBLEM_C, LAYERS, max_nodes=4, budget=10)
+
+    def test_c3_filters_non_instances(self):
+        """Candidates whose (input, color) part is not a legal 2-hop
+        colored instance must be excluded."""
+        instance = prepared(with_uniform_input(path_graph(2)))
+        t = view(instance, 0, 3)
+        candidates = enumerate_candidates(t, 3, PROBLEM_C, LAYERS, max_nodes=3)
+        for candidate in candidates:
+            stripped = candidate.graph.with_only_layers(["input", "color"])
+            assert PROBLEM_C.is_instance(stripped)

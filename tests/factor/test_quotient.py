@@ -1,0 +1,98 @@
+"""Tests for the infinite/finite view graph (Definition 1, Lemma 2, Cor 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import FactorError
+from repro.factor.quotient import finite_view_graph, infinite_view_graph
+from repro.graphs.builders import (
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.lifts import cyclic_lift, lift_graph
+from repro.views.local_views import all_views
+
+
+def colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def colored_c3_lift(fiber: int):
+    base = colored(with_uniform_input(cycle_graph(3)))
+    return base, cyclic_lift(base, fiber)[0]
+
+
+class TestLemma2:
+    """G_infinity is a factor of G for 2-hop colored G."""
+
+    def test_lifted_cycle_quotient_is_base(self):
+        base, lift = colored_c3_lift(4)
+        result = infinite_view_graph(lift)
+        assert result.graph.num_nodes == 3
+        assert are_isomorphic(result.graph, base)
+        assert result.map.multiplicity == 4
+
+    def test_prime_graph_quotient_trivial(self):
+        g = colored(with_uniform_input(path_graph(4)))
+        result = infinite_view_graph(g)
+        assert result.is_trivial
+        assert are_isomorphic(result.graph, g)
+
+    def test_quotient_of_quotient_is_stable(self):
+        _, lift = colored_c3_lift(2)
+        once = infinite_view_graph(lift)
+        twice = infinite_view_graph(once.graph)
+        assert twice.is_trivial
+
+    def test_uncolored_symmetric_graph_rejected(self):
+        g = with_uniform_input(cycle_graph(4))
+        with pytest.raises(FactorError, match="not 2-hop colored"):
+            infinite_view_graph(g)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quotient_of_lift_recovers_base(self, n, fiber, seed):
+        base = colored(with_uniform_input(random_connected_graph(n, 0.5, seed=seed)))
+        if fiber > 1 and base.num_edges == base.num_nodes - 1:
+            return  # trees have no connected nontrivial lifts
+        lift, _ = lift_graph(base, fiber, seed=seed)
+        result = infinite_view_graph(lift)
+        # The base may itself be non-prime; the quotient equals the
+        # base's quotient either way.
+        base_quotient = infinite_view_graph(base)
+        assert are_isomorphic(result.graph, base_quotient.graph)
+
+
+class TestFiniteViewGraph:
+    def test_views_attached_and_distinct(self):
+        _, lift = colored_c3_lift(2)
+        result = finite_view_graph(lift)
+        assert result.views is not None
+        assert len(result.views) == result.graph.num_nodes
+        assert len({id(t) for t in result.views.values()}) == len(result.views)
+
+    def test_alias_views_match_member_views(self):
+        """Fact 1: the depth-q view of a member in G equals the view of
+        its class computed inside the quotient (q = quotient size)."""
+        _, lift = colored_c3_lift(4)
+        result = finite_view_graph(lift)
+        q = result.graph.num_nodes
+        member_views = all_views(lift, q)
+        for v in lift.nodes:
+            assert member_views[v] is result.views[result.map(v)]
+
+    def test_single_node(self):
+        g = colored(with_uniform_input(path_graph(1)))
+        result = finite_view_graph(g)
+        assert result.graph.num_nodes == 1
+        assert result.is_trivial

@@ -1,0 +1,136 @@
+"""Unit tests for the graph family builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    binary_tree_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+    with_uniform_input,
+)
+from repro.graphs.properties import degree_profile, diameter, is_connected, is_regular
+
+
+class TestDeterministicFamilies:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_nodes == 5 and g.num_edges == 5
+        assert is_regular(g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert degree_profile(g) == (1, 1, 2, 2)
+
+    def test_path_single(self):
+        assert path_graph(1).num_nodes == 1
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_edges == 6
+        assert degree_profile(g) == (2, 2, 2, 3, 3)
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(2)
+        assert g.num_nodes == 7
+        assert g.degree(0) == 2
+        assert degree_profile(g).count(1) == 4  # leaves
+
+    def test_binary_tree_depth_zero(self):
+        assert binary_tree_graph(0).num_nodes == 1
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.num_nodes == 8 and g.num_edges == 12
+        assert is_regular(g)
+        assert diameter(g) == 3
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.num_nodes == 6 and g.num_edges == 7
+
+    def test_torus(self):
+        g = torus_graph(3, 4)
+        assert g.num_nodes == 12
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError, match="at least 3"):
+            torus_graph(2, 5)
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert g.num_nodes == 10 and g.num_edges == 15
+        assert is_regular(g)
+        assert diameter(g) == 2
+
+
+class TestRandomFamilies:
+    def test_random_connected_deterministic_for_seed(self):
+        a = random_connected_graph(10, 0.3, seed=5)
+        b = random_connected_graph(10, 0.3, seed=5)
+        assert a == b
+
+    def test_random_connected_varies_with_seed(self):
+        a = random_connected_graph(10, 0.3, seed=5)
+        b = random_connected_graph(10, 0.3, seed=6)
+        assert a != b
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            assert is_connected(random_connected_graph(12, 0.1, seed=seed))
+
+    def test_random_connected_probability_bounds(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(5, 1.5)
+
+    def test_random_regular(self):
+        g = random_regular_graph(8, 3, seed=1)
+        assert all(g.degree(v) == 3 for v in g.nodes)
+        assert is_connected(g)
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(GraphError, match="even"):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4)
+
+
+class TestUniformInput:
+    def test_with_uniform_input_includes_degree(self):
+        g = with_uniform_input(cycle_graph(4), value=7)
+        for v in g.nodes:
+            assert g.label_of(v, "input") == (2, 7)
+
+    def test_input_degree_matches_structure(self):
+        g = with_uniform_input(star_graph(3))
+        assert g.label_of(0, "input")[0] == 3
+        assert g.label_of(1, "input")[0] == 1

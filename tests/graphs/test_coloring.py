@@ -1,0 +1,88 @@
+"""Tests for k-hop coloring validation and greedy construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.coloring import (
+    apply_two_hop_coloring,
+    greedy_k_hop_coloring,
+    greedy_two_hop_coloring,
+    is_k_hop_coloring,
+    is_two_hop_coloring,
+    k_hop_conflicts,
+    num_colors,
+)
+
+
+class TestValidation:
+    def test_proper_two_hop_on_cycle(self):
+        g = cycle_graph(6)
+        coloring = {0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 2}
+        assert is_two_hop_coloring(g, coloring)
+
+    def test_adjacent_conflict(self):
+        g = path_graph(3)
+        coloring = {0: 0, 1: 0, 2: 1}
+        assert not is_k_hop_coloring(g, coloring, 1)
+        assert k_hop_conflicts(g, coloring, 1) == [(0, 1)]
+
+    def test_two_hop_conflict_not_one_hop(self):
+        g = path_graph(3)
+        coloring = {0: 0, 1: 1, 2: 0}  # ends share a color at distance 2
+        assert is_k_hop_coloring(g, coloring, 1)
+        assert not is_two_hop_coloring(g, coloring)
+        assert (0, 2) in k_hop_conflicts(g, coloring, 2)
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(LabelingError, match="does not cover"):
+            is_two_hop_coloring(path_graph(3), {0: 0, 1: 1})
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(LabelingError, match="at least 1"):
+            k_hop_conflicts(path_graph(2), {0: 0, 1: 1}, 0)
+
+    def test_single_node_always_valid(self):
+        g = path_graph(1)
+        assert is_two_hop_coloring(g, {0: 42})
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(7), path_graph(6), complete_graph(5), star_graph(5), petersen_graph()],
+        ids=["cycle7", "path6", "k5", "star5", "petersen"],
+    )
+    def test_greedy_is_valid(self, graph, k):
+        coloring = greedy_k_hop_coloring(graph, k)
+        assert is_k_hop_coloring(graph, coloring, k)
+
+    def test_greedy_two_hop_on_complete_uses_n_colors(self):
+        g = complete_graph(4)
+        coloring = greedy_two_hop_coloring(g)
+        assert num_colors(coloring) == 4
+
+    def test_greedy_color_count_bounded(self):
+        g = petersen_graph()  # Delta = 3
+        coloring = greedy_two_hop_coloring(g)
+        assert num_colors(coloring) <= 3 * 3 + 1
+
+    def test_apply_rejects_invalid(self):
+        g = path_graph(3)
+        with pytest.raises(LabelingError, match="not a 2-hop coloring"):
+            apply_two_hop_coloring(g, {0: 0, 1: 1, 2: 0})
+
+    def test_apply_attaches_layer(self):
+        g = path_graph(3)
+        colored = apply_two_hop_coloring(g, {0: 0, 1: 1, 2: 2})
+        assert colored.has_layer("color")
+        assert colored.label_of(1, "color") == 1

@@ -1,0 +1,81 @@
+"""Edge cases across the graph substrate: exotic node ids and labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.views.local_views import all_views, view_partition
+from repro.views.refinement import refinement_partition
+from repro.factor.quotient import infinite_view_graph
+from repro.graphs.coloring import apply_two_hop_coloring
+
+
+class TestExoticNodeIds:
+    def test_string_nodes(self):
+        g = LabeledGraph([("alpha", "beta"), ("beta", "gamma")])
+        assert g.nodes == ("alpha", "beta", "gamma")
+        assert g.distance("alpha", "gamma") == 2
+
+    def test_tuple_nodes(self):
+        g = LabeledGraph([((0, 0), (0, 1)), ((0, 1), (1, 0))])
+        assert g.degree((0, 1)) == 2
+
+    def test_mixed_type_nodes_deterministic(self):
+        a = LabeledGraph([(1, "x"), ("x", (2, 3))])
+        b = LabeledGraph([((2, 3), "x"), ("x", 1)])
+        assert a.nodes == b.nodes
+
+    def test_numeric_order_not_lexicographic(self):
+        g = LabeledGraph([(i, i + 1) for i in range(11)])
+        assert g.nodes == tuple(range(12))  # 10 < 11 numerically, not "10" < "2"
+
+
+class TestExoticLabels:
+    def test_nested_container_labels(self):
+        labels = {
+            0: {"role": "relay", "tags": ["a", "b"]},
+            1: {"role": "edge", "tags": []},
+        }
+        g = LabeledGraph([(0, 1)]).with_layer("input", labels)
+        assert g.label(0) == (labels[0],)
+        # Views over unhashable labels still work (freezing is internal).
+        views = all_views(g, 3)
+        assert views[0] is not views[1]
+
+    def test_none_labels(self):
+        g = LabeledGraph([(0, 1), (1, 2)]).with_layer(
+            "input", {0: None, 1: "mid", 2: None}
+        )
+        partition = view_partition(g, 3)
+        assert sorted(map(sorted, partition)) == [[0, 2], [1]]
+
+    def test_refinement_with_container_labels(self):
+        g = LabeledGraph([(0, 1), (1, 2), (2, 3)]).with_layer(
+            "input", {0: [1], 1: [2], 2: [2], 3: [1]}
+        )
+        partition = refinement_partition(g)
+        assert sorted(map(sorted, partition)) == [[0, 3], [1, 2]]
+
+
+class TestQuotientEdgeCases:
+    def test_quotient_with_string_nodes(self):
+        g = LabeledGraph(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        )
+        colored = apply_two_hop_coloring(
+            g.with_layer("input", {v: (2, 0) for v in g.nodes}),
+            {"a": 0, "b": 1, "c": 2, "d": 3},
+        )
+        result = infinite_view_graph(colored)
+        assert result.is_trivial
+
+    def test_two_hop_colored_square_with_period_two_colors_rejected(self):
+        g = LabeledGraph([(0, 1), (1, 2), (2, 3), (3, 0)]).with_layer(
+            "color", {0: "x", 1: "y", 2: "x", 3: "y"}
+        )
+        from repro.exceptions import FactorError
+
+        with pytest.raises(FactorError):
+            infinite_view_graph(g)

@@ -1,0 +1,70 @@
+"""Tests for canonical graph encodings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import cycle_graph, path_graph
+from repro.graphs.encoding import canonical_encoding, encode_ordered_graph
+
+
+def _labeled_path(labels):
+    g = path_graph(len(labels))
+    return g.with_layer("input", dict(enumerate(labels)))
+
+
+class TestOrderedEncoding:
+    def test_encoding_mentions_counts(self):
+        g = _labeled_path(["a", "b", "c"])
+        s = encode_ordered_graph(g, [0, 1, 2])
+        assert s.startswith("n=3;")
+        assert "E=0-1,1-2" in s
+
+    def test_encoding_depends_on_order(self):
+        g = _labeled_path(["a", "a", "a"])
+        s1 = encode_ordered_graph(g, [0, 1, 2])
+        s2 = encode_ordered_graph(g, [1, 0, 2])
+        assert s1 != s2  # edge ordinals differ
+
+    def test_order_must_be_permutation(self):
+        g = _labeled_path(["a", "b"])
+        with pytest.raises(GraphError, match="permutation"):
+            encode_ordered_graph(g, [0, 0])
+
+
+class TestCanonicalEncoding:
+    def test_isomorphic_graphs_equal_encoding(self):
+        g1 = _labeled_path(["a", "b", "c"])
+        g2 = g1.relabel_nodes({0: "x", 1: "y", 2: "z"})
+        assert canonical_encoding(g1) == canonical_encoding(g2)
+
+    def test_reversed_path_equal_encoding(self):
+        g1 = _labeled_path(["a", "b", "a"])
+        g2 = _labeled_path(["a", "b", "a"]).relabel_nodes({0: 2, 1: 1, 2: 0})
+        assert canonical_encoding(g1) == canonical_encoding(g2)
+
+    def test_different_labels_differ(self):
+        g1 = _labeled_path(["a", "b"])
+        g2 = _labeled_path(["a", "c"])
+        assert canonical_encoding(g1) != canonical_encoding(g2)
+
+    def test_different_structure_differs(self):
+        p3 = cycle_graph(3).with_layer("input", {v: "a" for v in range(3)})
+        l3 = _labeled_path(["a", "a", "a"])
+        assert canonical_encoding(p3) != canonical_encoding(l3)
+
+    def test_size_guard(self):
+        big = cycle_graph(12).with_layer("input", {v: 0 for v in range(12)})
+        with pytest.raises(GraphError, match="limited to 9"):
+            canonical_encoding(big)
+
+    def test_canonical_is_minimum_over_orders(self):
+        import itertools
+
+        g = _labeled_path(["a", "a", "b"])
+        explicit_min = min(
+            encode_ordered_graph(g, list(order))
+            for order in itertools.permutations(g.nodes)
+        )
+        assert canonical_encoding(g) == explicit_min

@@ -1,0 +1,90 @@
+"""Tests for labeled isomorphism, automorphisms, vertex-transitivity."""
+
+from __future__ import annotations
+
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    automorphisms,
+    find_isomorphism,
+    is_vertex_transitive,
+)
+
+
+def _uniform(graph, value="x"):
+    return graph.with_layer("input", {v: value for v in graph.nodes})
+
+
+class TestIsomorphism:
+    def test_identical_graphs(self):
+        assert are_isomorphic(_uniform(cycle_graph(5)), _uniform(cycle_graph(5)))
+
+    def test_relabeled_graphs(self):
+        g = _uniform(path_graph(4))
+        h = g.relabel_nodes({0: "d", 1: "c", 2: "b", 3: "a"})
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        for u, v in g.edges():
+            assert h.has_edge(mapping[u], mapping[v])
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(_uniform(cycle_graph(4)), _uniform(cycle_graph(5)))
+
+    def test_labels_respected(self):
+        g = path_graph(2).with_layer("input", {0: "a", 1: "b"})
+        h = path_graph(2).with_layer("input", {0: "b", 1: "a"})
+        mapping = find_isomorphism(g, h)
+        assert mapping == {0: 1, 1: 0}
+
+    def test_label_blocked_isomorphism(self):
+        g = path_graph(2).with_layer("input", {0: "a", 1: "a"})
+        h = path_graph(2).with_layer("input", {0: "a", 1: "b"})
+        assert not are_isomorphic(g, h)
+
+    def test_structure_blocked(self):
+        star = _uniform(star_graph(3))
+        path = _uniform(path_graph(4))
+        assert not are_isomorphic(star, path)
+
+    def test_layer_names_must_match(self):
+        g = path_graph(2).with_layer("input", {0: "a", 1: "a"})
+        h = path_graph(2).with_layer("other", {0: "a", 1: "a"})
+        assert not are_isomorphic(g, h)
+
+
+class TestAutomorphisms:
+    def test_cycle_automorphism_count(self):
+        # Dihedral group: 2n automorphisms for an unlabeled n-cycle.
+        assert len(automorphisms(_uniform(cycle_graph(5)))) == 10
+
+    def test_path_automorphism_count(self):
+        assert len(automorphisms(_uniform(path_graph(4)))) == 2
+
+    def test_labels_break_symmetry(self):
+        g = cycle_graph(4).with_layer("input", {0: "a", 1: "b", 2: "a", 3: "b"})
+        assert len(automorphisms(g)) == 4  # rotations by 2 and reflections
+        g2 = cycle_graph(4).with_layer("input", {0: "a", 1: "b", 2: "c", 3: "d"})
+        assert len(automorphisms(g2)) == 1
+
+
+class TestVertexTransitivity:
+    def test_cycle_transitive(self):
+        assert is_vertex_transitive(_uniform(cycle_graph(6)))
+
+    def test_complete_transitive(self):
+        assert is_vertex_transitive(_uniform(complete_graph(4)))
+
+    def test_petersen_transitive(self):
+        assert is_vertex_transitive(_uniform(petersen_graph()))
+
+    def test_path_not_transitive(self):
+        assert not is_vertex_transitive(_uniform(path_graph(4)))
+
+    def test_star_not_transitive(self):
+        assert not is_vertex_transitive(_uniform(star_graph(3)))

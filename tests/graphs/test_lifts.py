@@ -1,0 +1,86 @@
+"""Tests for permutation-voltage lifts (product construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.factor.factorizing_map import FactorizingMap
+from repro.graphs.builders import cycle_graph, path_graph, petersen_graph, with_uniform_input
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.lifts import cyclic_lift, lift_graph
+from repro.graphs.properties import is_regular
+
+
+def _colored_cycle(n: int):
+    g = with_uniform_input(cycle_graph(n))
+    return apply_two_hop_coloring(g, greedy_two_hop_coloring(g))
+
+
+class TestLiftStructure:
+    def test_lift_size(self):
+        base = _colored_cycle(3)
+        lift, projection = lift_graph(base, 4, seed=1)
+        assert lift.num_nodes == 12
+        assert lift.num_edges == 12
+
+    def test_projection_is_factorizing_map(self):
+        base = _colored_cycle(3)
+        lift, projection = lift_graph(base, 3, seed=2)
+        fm = FactorizingMap(lift, base, projection)  # verifies on construction
+        assert fm.multiplicity == 3
+
+    def test_labels_lifted(self):
+        base = _colored_cycle(3)
+        lift, projection = lift_graph(base, 2, seed=0)
+        for v in lift.nodes:
+            assert lift.label(v) == base.label(projection[v])
+
+    def test_fiber_size_one_is_isomorphic_copy(self):
+        base = _colored_cycle(5)
+        lift, projection = lift_graph(base, 1)
+        assert are_isomorphic(lift, base)
+
+    def test_degree_preserved(self):
+        base = with_uniform_input(petersen_graph())
+        lift, _ = lift_graph(base, 2, seed=3)
+        assert is_regular(lift)
+        assert lift.degree(lift.nodes[0]) == 3
+
+
+class TestCyclicLift:
+    def test_cyclic_lift_of_c3_is_big_cycle(self):
+        """The paper's Figure 2 tower: cyclic lifts of C3 are C6 and C12."""
+        base = _colored_cycle(3)
+        for fiber, expected in [(2, 6), (4, 12)]:
+            lift, _ = cyclic_lift(base, fiber)
+            assert lift.num_nodes == expected
+            assert all(lift.degree(v) == 2 for v in lift.nodes)
+            # A connected 2-regular graph is a single cycle.
+
+    def test_explicit_voltages_validated(self):
+        base = _colored_cycle(3)
+        voltages = {edge: (0, 0) for edge in base.edges()}
+        with pytest.raises(GraphError, match="permutation"):
+            lift_graph(base, 2, voltages=voltages)
+
+    def test_missing_voltage_rejected(self):
+        base = _colored_cycle(3)
+        with pytest.raises(GraphError, match="missing voltage"):
+            lift_graph(base, 2, voltages={})
+
+    def test_tree_base_rejected_for_nontrivial_fiber(self):
+        base = with_uniform_input(path_graph(2))
+        with pytest.raises(GraphError, match="tree has no connected lift"):
+            lift_graph(base, 2)
+
+    def test_disconnected_identity_lift_rejected(self):
+        base = _colored_cycle(4)
+        identity = {edge: (0, 1) for edge in base.edges()}
+        with pytest.raises(GraphError, match="not connected"):
+            lift_graph(base, 2, voltages=identity)
+
+    def test_fiber_size_zero_rejected(self):
+        with pytest.raises(GraphError, match="at least 1"):
+            lift_graph(_colored_cycle(3), 0)

@@ -1,0 +1,92 @@
+"""Tests for circulant, wheel and caterpillar builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    caterpillar_graph,
+    circulant_graph,
+    cycle_graph,
+    wheel_graph,
+)
+from repro.graphs.isomorphism import are_isomorphic, is_vertex_transitive
+from repro.graphs.properties import degree_profile, is_connected, is_regular
+
+
+def _uniform(graph):
+    return graph.with_layer("input", {v: 0 for v in graph.nodes})
+
+
+class TestCirculant:
+    def test_offset_one_is_cycle(self):
+        assert are_isomorphic(
+            _uniform(circulant_graph(7, [1])), _uniform(cycle_graph(7))
+        )
+
+    def test_squared_cycle(self):
+        g = circulant_graph(8, [1, 2])
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert is_connected(g)
+
+    def test_vertex_transitive(self):
+        assert is_vertex_transitive(_uniform(circulant_graph(6, [1, 2])))
+
+    def test_offsets_normalized(self):
+        a = circulant_graph(8, [1, 7])  # 7 ≡ -1: same edges as [1]
+        b = circulant_graph(8, [1])
+        assert a == b
+
+    def test_disconnected_circulant_rejected(self):
+        # C6(3) is three disjoint edges; the connectivity check must fire.
+        with pytest.raises(GraphError, match="not connected"):
+            circulant_graph(6, [3])
+
+    def test_zero_offsets_rejected(self):
+        with pytest.raises(GraphError, match="nonzero"):
+            circulant_graph(5, [0, 5])
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            circulant_graph(2, [1])
+
+
+class TestWheel:
+    def test_structure(self):
+        g = wheel_graph(5)
+        assert g.num_nodes == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 3 for v in range(1, 6))
+
+    def test_not_regular_except_w3(self):
+        assert is_regular(wheel_graph(3))  # W3 = K4
+        assert not is_regular(wheel_graph(5))
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            wheel_graph(2)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar_graph(3, 2)
+        assert g.num_nodes == 9
+        assert degree_profile(g).count(1) == 6  # the legs
+
+    def test_bare_spine_is_path(self):
+        from repro.graphs.builders import path_graph
+
+        assert are_isomorphic(
+            _uniform(caterpillar_graph(4, 0)), _uniform(path_graph(4))
+        )
+
+    def test_single_spine_node(self):
+        g = caterpillar_graph(1, 3)
+        assert g.degree(0) == 3
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            caterpillar_graph(0, 1)
+        with pytest.raises(GraphError):
+            caterpillar_graph(2, -1)

@@ -1,0 +1,70 @@
+"""Tests for structural graph properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import (
+    degree_profile,
+    diameter,
+    eccentricity,
+    is_connected,
+    is_regular,
+    max_degree,
+)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(cycle_graph(5))
+
+    def test_disconnected_fragment(self):
+        g = LabeledGraph([(0, 1), (2, 3)], check_connected=False)
+        assert not is_connected(g)
+
+    def test_single_node_connected(self):
+        assert is_connected(path_graph(1))
+
+
+class TestDistances:
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(6)) == 3
+        assert diameter(cycle_graph(7)) == 3
+
+    def test_path_diameter(self):
+        assert diameter(path_graph(5)) == 4
+
+    def test_complete_diameter(self):
+        assert diameter(complete_graph(6)) == 1
+
+    def test_star_eccentricities(self):
+        g = star_graph(4)
+        assert eccentricity(g, 0) == 1
+        assert eccentricity(g, 1) == 2
+
+    def test_eccentricity_on_fragment_raises(self):
+        g = LabeledGraph([(0, 1), (2, 3)], check_connected=False)
+        with pytest.raises(GraphError, match="disconnected"):
+            eccentricity(g, 0)
+
+
+class TestDegrees:
+    def test_degree_profile_sorted(self):
+        assert degree_profile(star_graph(3)) == (1, 1, 1, 3)
+
+    def test_regularity(self):
+        assert is_regular(cycle_graph(4))
+        assert is_regular(hypercube_graph(3))
+        assert not is_regular(path_graph(3))
+
+    def test_max_degree(self):
+        assert max_degree(star_graph(7)) == 7

@@ -1,0 +1,80 @@
+"""Property-based tests for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builders import random_connected_graph, with_uniform_input
+from repro.graphs.coloring import (
+    greedy_k_hop_coloring,
+    is_k_hop_coloring,
+)
+from repro.graphs.encoding import canonical_encoding
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.lifts import lift_graph
+from repro.factor.factorizing_map import FactorizingMap
+from repro.graphs.properties import diameter, is_connected
+
+
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=12),  # nodes
+    st.floats(min_value=0.0, max_value=0.6),  # extra edge probability
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@given(graph_params)
+@settings(max_examples=60, deadline=None)
+def test_random_graphs_are_simple_and_connected(params):
+    n, p, seed = params
+    g = random_connected_graph(n, p, seed=seed)
+    assert g.num_nodes == n
+    assert is_connected(g)
+    for u, v in g.edges():
+        assert u != v
+
+
+@given(graph_params, st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_greedy_coloring_always_proper(params, k):
+    n, p, seed = params
+    g = random_connected_graph(n, p, seed=seed)
+    coloring = greedy_k_hop_coloring(g, k)
+    assert is_k_hop_coloring(g, coloring, k)
+
+
+@given(graph_params)
+@settings(max_examples=30, deadline=None)
+def test_diameter_bounded_by_node_count(params):
+    n, p, seed = params
+    g = random_connected_graph(n, p, seed=seed)
+    assert diameter(g) <= n - 1 if n > 1 else diameter(g) == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=1000),
+    st.permutations(list(range(6))),
+)
+@settings(max_examples=30, deadline=None)
+def test_canonical_encoding_invariant_under_relabeling(n, seed, perm):
+    g = with_uniform_input(random_connected_graph(n, 0.4, seed=seed))
+    mapping = {v: f"node-{perm[v]}" for v in g.nodes}
+    renamed = g.relabel_nodes(mapping)
+    assert canonical_encoding(g) == canonical_encoding(renamed)
+    assert are_isomorphic(g, renamed)
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_lift_projection_is_always_a_factorizing_map(n, fiber, seed):
+    base = with_uniform_input(random_connected_graph(n, 0.5, seed=seed))
+    if fiber > 1 and base.num_edges == base.num_nodes - 1:
+        return  # trees have no connected nontrivial lifts
+    lift, projection = lift_graph(base, fiber, seed=seed)
+    fm = FactorizingMap(lift, base, projection)
+    assert fm.multiplicity == fiber

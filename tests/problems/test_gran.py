@@ -1,0 +1,61 @@
+"""Tests for GRAN bundles — the hypothesis certificates of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.deciders import WellFormedInputDecider
+from repro.algorithms.luby_mis import AnonymousMISAlgorithm
+from repro.algorithms.matching import AnonymousMatchingAlgorithm
+from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
+from repro.algorithms.vertex_coloring import VertexColoringAlgorithm
+from repro.exceptions import ProblemError
+from repro.graphs.builders import cycle_graph, petersen_graph, with_uniform_input
+from repro.problems.coloring import ColoringProblem, KHopColoringProblem
+from repro.problems.gran import GranBundle
+from repro.problems.matching import MaximalMatchingProblem
+from repro.problems.mis import MISProblem
+
+
+def all_bundles():
+    decider = WellFormedInputDecider()
+    return [
+        GranBundle(MISProblem(), AnonymousMISAlgorithm(), decider),
+        GranBundle(ColoringProblem(), VertexColoringAlgorithm(), decider),
+        GranBundle(KHopColoringProblem(2), TwoHopColoringAlgorithm(), decider),
+        GranBundle(MaximalMatchingProblem(), AnonymousMatchingAlgorithm(), decider),
+    ]
+
+
+BUNDLES = all_bundles()
+BUNDLE_IDS = [b.problem.name for b in BUNDLES]
+
+
+class TestMembership:
+    @pytest.mark.parametrize("bundle", BUNDLES, ids=BUNDLE_IDS)
+    def test_solver_check_passes(self, bundle):
+        g = with_uniform_input(cycle_graph(5))
+        bundle.check_solver_on(g, seeds=range(3))
+
+    @pytest.mark.parametrize("bundle", BUNDLES, ids=BUNDLE_IDS)
+    def test_decider_check_passes_on_instance(self, bundle):
+        g = with_uniform_input(petersen_graph())
+        bundle.check_decider_on(g, seeds=[0])
+
+    @pytest.mark.parametrize("bundle", BUNDLES, ids=BUNDLE_IDS)
+    def test_decider_check_passes_on_non_instance(self, bundle):
+        bad = cycle_graph(4).with_layer("input", {v: (9, 9) for v in range(4)})
+        bundle.check_decider_on(bad, seeds=[0])
+
+    def test_solver_check_rejects_non_instance(self):
+        bundle = BUNDLES[0]
+        with pytest.raises(ProblemError, match="not an instance"):
+            bundle.check_solver_on(cycle_graph(3), seeds=[0])
+
+    def test_solver_check_catches_bad_solver(self):
+        """A solver for the wrong problem must be flagged."""
+        bundle = GranBundle(
+            MISProblem(), TwoHopColoringAlgorithm(), WellFormedInputDecider()
+        )
+        with pytest.raises(ProblemError, match="invalid output"):
+            bundle.check_solver_on(with_uniform_input(cycle_graph(4)), seeds=[0])

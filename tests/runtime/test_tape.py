@@ -1,0 +1,79 @@
+"""Tests for bit tapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.runtime.tape import FixedTape, RandomTape, RecordingTape
+
+
+class TestRandomTape:
+    def test_deterministic_for_seed(self):
+        a = RandomTape(7).draw(64)
+        b = RandomTape(7).draw(64)
+        assert a == b
+
+    def test_varies_with_seed(self):
+        assert RandomTape(1).draw(64) != RandomTape(2).draw(64)
+
+    def test_only_bits(self):
+        assert set(RandomTape(3).draw(100)) <= {"0", "1"}
+
+    def test_never_exhausts(self):
+        tape = RandomTape(0)
+        assert tape.remaining(10_000)
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(SimulationError):
+            RandomTape(0).draw(-1)
+
+
+class TestFixedTape:
+    def test_replays_in_order(self):
+        tape = FixedTape("0110")
+        assert tape.draw(2) == "01"
+        assert tape.draw(2) == "10"
+
+    def test_exhaustion(self):
+        tape = FixedTape("01")
+        assert tape.remaining(2)
+        tape.draw(2)
+        assert not tape.remaining(1)
+        with pytest.raises(SimulationError, match="exhausted"):
+            tape.draw(1)
+
+    def test_consumed_counter(self):
+        tape = FixedTape("0101")
+        tape.draw(3)
+        assert tape.consumed == 3
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(SimulationError, match="only 0/1"):
+            FixedTape("01a")
+
+    def test_empty_tape(self):
+        tape = FixedTape("")
+        assert tape.remaining(0)
+        assert tape.draw(0) == ""
+        assert not tape.remaining(1)
+
+
+class TestRecordingTape:
+    def test_records_draws(self):
+        tape = RecordingTape(FixedTape("0110"))
+        tape.draw(1)
+        tape.draw(3)
+        assert tape.recorded == "0110"
+
+    def test_forwards_remaining(self):
+        tape = RecordingTape(FixedTape("01"))
+        assert tape.remaining(2)
+        tape.draw(2)
+        assert not tape.remaining(1)
+
+    def test_recording_random_is_replayable(self):
+        recording = RecordingTape(RandomTape(5))
+        drawn = recording.draw(32)
+        replay = FixedTape(recording.recorded)
+        assert replay.draw(32) == drawn

@@ -1,0 +1,82 @@
+"""Tests for universal cover balls and the pruning relationship."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ViewError
+from repro.graphs.builders import (
+    cycle_graph,
+    complete_graph,
+    path_graph,
+    star_graph,
+)
+from repro.views.local_views import view
+from repro.views.universal_cover import universal_cover_ball, view_to_cover_ball
+
+
+def _uniform(graph):
+    return graph.with_layer("input", {v: "x" for v in graph.nodes})
+
+
+class TestCoverBall:
+    def test_radius_zero_is_leaf(self):
+        g = _uniform(cycle_graph(4))
+        ball = universal_cover_ball(g, 0, 0)
+        assert ball.depth == 1
+
+    def test_cycle_ball_is_path(self):
+        """The universal cover of a cycle is the bi-infinite path: each
+        non-root vertex in the ball has exactly one child."""
+        g = _uniform(cycle_graph(5))
+        ball = universal_cover_ball(g, 0, 4)
+        assert len(ball.children) == 2
+        current = ball.children[0]
+        while current.children:
+            assert len(current.children) == 1
+            current = current.children[0]
+
+    def test_ball_size_on_regular_graph(self):
+        # K4: root has 3 children, then branching factor 2: 1+3+6+12.
+        g = _uniform(complete_graph(4))
+        ball = universal_cover_ball(g, 0, 3)
+        assert ball.size == 1 + 3 + 6 + 12
+
+    def test_unknown_base(self):
+        with pytest.raises(ViewError):
+            universal_cover_ball(_uniform(cycle_graph(3)), 9, 2)
+
+    def test_negative_radius(self):
+        with pytest.raises(ViewError):
+            universal_cover_ball(_uniform(cycle_graph(3)), 0, -1)
+
+
+class TestPruningRelationship:
+    """The paper's claim: U(G) is obtained from L_inf(v) by pruning each
+    vertex's child corresponding to its parent."""
+
+    @pytest.mark.parametrize(
+        "graph,node",
+        [
+            (_uniform(cycle_graph(5)), 0),
+            (_uniform(cycle_graph(6)), 2),
+            (_uniform(path_graph(4)), 1),
+            (_uniform(star_graph(3)), 0),
+            (_uniform(star_graph(3)), 1),
+            (_uniform(complete_graph(4)), 0),
+        ],
+        ids=["c5", "c6", "p4", "star-center", "star-leaf", "k4"],
+    )
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    def test_pruned_view_equals_cover_ball(self, graph, node, depth):
+        pruned = view_to_cover_ball(view(graph, node, depth))
+        ball = universal_cover_ball(graph, node, depth - 1)
+        assert pruned is ball
+
+    def test_pruning_labeled_graph(self):
+        g = cycle_graph(6).with_layer(
+            "input", {0: "a", 1: "b", 2: "c", 3: "a", 4: "b", 5: "c"}
+        )
+        pruned = view_to_cover_ball(view(g, 0, 4))
+        ball = universal_cover_ball(g, 0, 3)
+        assert pruned is ball

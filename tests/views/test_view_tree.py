@@ -1,0 +1,116 @@
+"""Tests for the hash-consed ViewTree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.views.view_tree import ViewTree
+
+
+class TestConstruction:
+    def test_leaf(self):
+        t = ViewTree.leaf("a")
+        assert t.mark == "a"
+        assert t.depth == 1
+        assert t.size == 1
+        assert t.children == ()
+
+    def test_interning_makes_equal_trees_identical(self):
+        a = ViewTree.make("x", [ViewTree.leaf("a"), ViewTree.leaf("b")])
+        b = ViewTree.make("x", [ViewTree.leaf("b"), ViewTree.leaf("a")])
+        assert a is b  # children canonically sorted, same object
+
+    def test_different_marks_different_objects(self):
+        assert ViewTree.leaf("a") is not ViewTree.leaf("b")
+
+    def test_direct_constructor_forbidden(self):
+        with pytest.raises(TypeError, match="interned"):
+            ViewTree("a", (), None)
+
+    def test_depth_and_size(self):
+        inner = ViewTree.make("i", [ViewTree.leaf("l1"), ViewTree.leaf("l2")])
+        root = ViewTree.make("r", [inner, ViewTree.leaf("l3")])
+        assert root.depth == 3
+        assert root.size == 5
+
+
+class TestOrder:
+    def test_compare_equal(self):
+        assert ViewTree.compare(ViewTree.leaf("a"), ViewTree.leaf("a")) == 0
+
+    def test_depth_dominates(self):
+        shallow = ViewTree.leaf("z")
+        deep = ViewTree.make("a", [ViewTree.leaf("a")])
+        assert ViewTree.compare(shallow, deep) < 0
+
+    def test_mark_breaks_depth_tie(self):
+        assert ViewTree.leaf("a") < ViewTree.leaf("b")
+
+    def test_children_break_mark_tie(self):
+        a = ViewTree.make("x", [ViewTree.leaf("a")])
+        b = ViewTree.make("x", [ViewTree.leaf("b")])
+        assert a < b
+
+    def test_total_order_antisymmetric(self):
+        trees = [
+            ViewTree.leaf("a"),
+            ViewTree.leaf("b"),
+            ViewTree.make("a", [ViewTree.leaf("a")]),
+            ViewTree.make("a", [ViewTree.leaf("a"), ViewTree.leaf("b")]),
+        ]
+        for t1 in trees:
+            for t2 in trees:
+                c12 = ViewTree.compare(t1, t2)
+                c21 = ViewTree.compare(t2, t1)
+                assert c12 == -c21
+                assert (c12 == 0) == (t1 is t2)
+
+    def test_sorting_with_sort_key(self):
+        trees = [ViewTree.leaf(m) for m in ["c", "a", "b"]]
+        ordered = sorted(trees, key=lambda t: t.sort_key())
+        assert [t.mark for t in ordered] == ["a", "b", "c"]
+
+
+class TestOperations:
+    def _chain(self, marks):
+        tree = ViewTree.leaf(marks[-1])
+        for mark in reversed(marks[:-1]):
+            tree = ViewTree.make(mark, [tree])
+        return tree
+
+    def test_truncate(self):
+        chain = self._chain(["a", "b", "c", "d"])
+        assert chain.depth == 4
+        cut = chain.truncate(2)
+        assert cut.depth == 2
+        assert cut.mark == "a"
+        assert cut.children[0].mark == "b"
+
+    def test_truncate_no_op_when_shallow(self):
+        leaf = ViewTree.leaf("a")
+        assert leaf.truncate(5) is leaf
+
+    def test_truncate_bad_depth(self):
+        with pytest.raises(ValueError):
+            ViewTree.leaf("a").truncate(0)
+
+    def test_truncate_memoized_consistency(self):
+        chain = self._chain(["a", "b", "c", "d"])
+        assert chain.truncate(2) is chain.truncate(2)
+
+    def test_subtrees_distinct(self):
+        shared = ViewTree.leaf("s")
+        root = ViewTree.make("r", [shared, ViewTree.make("m", [shared])])
+        subtree_list = list(root.subtrees())
+        assert len(subtree_list) == 3  # root, "m"-node, shared leaf once
+
+    def test_level_marks(self):
+        root = ViewTree.make("r", [ViewTree.leaf("a"), ViewTree.leaf("b")])
+        assert root.level_marks(1) == ("r",)
+        assert root.level_marks(2) == ("a", "b")
+        assert root.level_marks(3) == ()
+
+    def test_render_contains_marks(self):
+        root = ViewTree.make("r", [ViewTree.leaf("a")])
+        text = root.render()
+        assert "'r'" in text and "'a'" in text
