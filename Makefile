@@ -1,0 +1,17 @@
+# Developer entry points.  PYTHONPATH is injected so no install is needed.
+PYTHON ?= python
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench perf perf-smoke
+
+test:  ## tier-1 test suite
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+bench:  ## full benchmark/experiment suite (pytest-benchmark)
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+perf:  ## rewrite the BENCH_views.json perf baseline
+	$(PYTHON) benchmarks/run_perf_suite.py
+
+perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs baseline
+	$(PYTHON) benchmarks/run_perf_suite.py --quick --check

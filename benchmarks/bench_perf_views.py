@@ -14,8 +14,9 @@ from repro.core.orders import canonical_node_order, finite_view_graph_sort_key
 from repro.factor.quotient import finite_view_graph
 from repro.graphs.builders import cycle_graph, random_connected_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
-from repro.views.local_views import all_views
+from repro.views.local_views import all_views, view_builder
 from repro.views.refinement import color_refinement
+from repro.views.view_tree import clear_caches
 
 
 def colored(graph):
@@ -26,6 +27,22 @@ def colored(graph):
 def test_view_construction_scaling(n, benchmark):
     g = with_uniform_input(cycle_graph(n))
     views = benchmark(lambda: all_views(g, n))
+    assert len(views) == n
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_incremental_deepening(n, benchmark):
+    """Extending a cached depth-(n/2) builder to depth n: the cost of the
+    *new* levels only, not a from-scratch rebuild."""
+    g = with_uniform_input(cycle_graph(n))
+
+    def run():
+        clear_caches()
+        builder = view_builder(g)
+        builder.views(n // 2)
+        return builder.views(n)
+
+    views = benchmark(run)
     assert len(views) == n
 
 

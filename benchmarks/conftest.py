@@ -14,6 +14,17 @@ import pytest
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
 from repro.graphs.lifts import cyclic_lift
+from repro.views.view_tree import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def fresh_view_caches():
+    """Empty the view intern/rank tables before every benchmark case.
+
+    Long parametrized sessions would otherwise accumulate interned trees
+    without bound, and cross-case cache warmth would skew timings."""
+    clear_caches()
+    yield
 
 
 def colored(graph):

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Run the view/refinement/quotient scaling benches and persist a baseline.
+
+Writes ``BENCH_views.json`` at the repository root: machine info, an
+n-sweep of timings for the three hot paths (view construction, color
+refinement, quotient construction) plus incremental-deepening and
+interning statistics.  Future PRs regress against the committed file:
+
+    python benchmarks/run_perf_suite.py            # measure + rewrite baseline
+    python benchmarks/run_perf_suite.py --quick    # smaller sweep, no rewrite
+    python benchmarks/run_perf_suite.py --check    # compare vs committed baseline
+
+``--check`` exits non-zero when cold view construction at the guard case
+(cycle n=64, depth 64) regresses more than the allowed factor (default
+2x) against the committed baseline — the CI ``perf-smoke`` gate.
+
+Each *cold* sample clears the intern/rank tables and builder caches
+first (`repro.views.clear_caches`), measuring construction from nothing;
+*warm* samples reuse them, measuring the cached/incremental path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.graphs.builders import (  # noqa: E402
+    cycle_graph,
+    random_connected_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import (  # noqa: E402
+    apply_two_hop_coloring,
+    greedy_two_hop_coloring,
+)
+from repro.factor.quotient import finite_view_graph  # noqa: E402
+from repro.views.local_views import all_views, view_builder  # noqa: E402
+from repro.views.refinement import color_refinement  # noqa: E402
+from repro.views.view_tree import clear_caches, intern_stats  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_views.json"
+GUARD_BENCH = "views_cycle"
+GUARD_N = 64
+DEFAULT_TOLERANCE = 2.0
+
+
+def _colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def _time(fn, repeats, cold):
+    samples = []
+    for _ in range(repeats):
+        if cold:
+            clear_caches()
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "median_s": statistics.median(samples),
+        "repeats": repeats,
+    }
+
+
+def run_suite(quick: bool, repeats: int) -> dict:
+    view_ns = [8, 16, 32, 64] if quick else [8, 16, 32, 64, 96, 128]
+    refine_ns = [16, 64, 128] if quick else [16, 64, 128, 256, 512]
+    quotient_ns = [8, 16, 32] if quick else [8, 16, 32, 48, 64]
+    rows = []
+
+    for n in view_ns:
+        graph = with_uniform_input(cycle_graph(n))
+        cold = _time(lambda: all_views(graph, n), repeats, cold=True)
+        stats = intern_stats()
+        warm = _time(lambda: all_views(graph, n), repeats, cold=False)
+        rows.append(
+            {
+                "bench": GUARD_BENCH,
+                "n": n,
+                "cold": cold,
+                "warm": warm,
+                "intern": stats,
+            }
+        )
+
+    for n in view_ns:
+        # Incremental deepening: extend a cached depth-(n//2) builder to
+        # depth n, versus the cold full build measured above.
+        graph = with_uniform_input(cycle_graph(n))
+        clear_caches()
+        builder = view_builder(graph)
+        builder.views(n // 2)
+        start = time.perf_counter()
+        builder.views(n)
+        extend_s = time.perf_counter() - start
+        rows.append(
+            {
+                "bench": "views_incremental_extend",
+                "n": n,
+                "cold": {"best_s": extend_s, "median_s": extend_s, "repeats": 1},
+                "warm": None,
+                "intern": None,
+            }
+        )
+
+    for n in refine_ns:
+        graph = with_uniform_input(random_connected_graph(n, 0.1, seed=n))
+        cold = _time(lambda: color_refinement(graph), repeats, cold=True)
+        warm = _time(lambda: color_refinement(graph), repeats, cold=False)
+        rows.append(
+            {"bench": "refinement_random", "n": n, "cold": cold, "warm": warm, "intern": None}
+        )
+
+    for n in quotient_ns:
+        graph = _colored(with_uniform_input(random_connected_graph(n, 0.15, seed=n)))
+        cold = _time(lambda: finite_view_graph(graph), repeats, cold=True)
+        warm = _time(lambda: finite_view_graph(graph), repeats, cold=False)
+        rows.append(
+            {"bench": "quotient_colored", "n": n, "cold": cold, "warm": warm, "intern": None}
+        )
+
+    clear_caches()
+    return {
+        "schema": 1,
+        "suite": "views-perf",
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "results": rows,
+    }
+
+
+def _guard_time(payload: dict):
+    for row in payload.get("results", []):
+        if row.get("bench") == GUARD_BENCH and row.get("n") == GUARD_N:
+            return row["cold"]["best_s"]
+    return None
+
+
+def check_against_baseline(current: dict, baseline_path: Path, tolerance: float) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run without --check to create one")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    base_time = _guard_time(baseline)
+    new_time = _guard_time(current)
+    if base_time is None or new_time is None:
+        print("guard case missing from baseline or current run")
+        return 1
+    ratio = new_time / base_time
+    print(
+        f"perf-smoke guard: views cycle n={GUARD_N} cold "
+        f"{new_time * 1e3:.3f}ms vs baseline {base_time * 1e3:.3f}ms "
+        f"(ratio {ratio:.2f}, allowed {tolerance:.2f})"
+    )
+    if ratio > tolerance:
+        print("PERF REGRESSION: view construction slowed beyond tolerance")
+        return 2
+    print("perf-smoke ok")
+    return 0
+
+
+def _print_table(payload: dict) -> None:
+    print(f"{'bench':<26}{'n':>5}{'cold best':>14}{'warm best':>14}")
+    for row in payload["results"]:
+        cold = row["cold"]["best_s"] * 1e3
+        warm = "" if row["warm"] is None else f"{row['warm']['best_s'] * 1e3:11.4f}ms"
+        print(f"{row['bench']:<26}{row['n']:>5}{cold:11.4f}ms{warm:>14}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller sweep (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=5, help="samples per case")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed slowdown factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="baseline file path"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(quick=args.quick or args.check, repeats=args.repeats)
+    _print_table(payload)
+
+    if args.check:
+        return check_against_baseline(payload, args.output, args.tolerance)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

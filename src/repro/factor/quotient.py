@@ -27,7 +27,7 @@ from repro.exceptions import FactorError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.factor.factorizing_map import FactorizingMap
 from repro.views.refinement import color_refinement
-from repro.views.local_views import all_views
+from repro.views.local_views import view_builder
 from repro.views.view_tree import ViewTree
 
 
@@ -114,9 +114,13 @@ def infinite_view_graph(
         # (Corollary 1 applied to the prime quotient).  By Fact 1 the
         # depth-n view of any member computed in the input graph is the
         # same tree, so computing inside the (smaller) quotient is both
-        # cheaper and faithful; the tests cross-check the equality.
+        # cheaper and faithful; the tests cross-check the equality.  The
+        # builder deepens incrementally and, past the quotient's own
+        # stabilization depth, extends levels per view class — so a
+        # quotient whose partition stabilizes early does not pay full
+        # per-node rounds all the way to depth n.
         depth = quotient.num_nodes
-        views = all_views(quotient, depth)
+        views = view_builder(quotient).views(depth)
 
     return QuotientResult(graph=quotient, map=factorizing, views=views)
 

@@ -9,10 +9,12 @@ the view-equivalence partition efficiently by color refinement
 exposes the universal cover (:mod:`repro.views.universal_cover`).
 """
 
-from repro.views.view_tree import ViewTree
+from repro.views.view_tree import ViewTree, clear_caches, intern_stats
 from repro.views.local_views import (
+    ViewBuilder,
     all_views,
     view,
+    view_builder,
     view_partition,
 )
 from repro.views.refinement import (
@@ -25,9 +27,13 @@ from repro.views.universal_cover import universal_cover_ball, view_to_cover_ball
 
 __all__ = [
     "ViewTree",
+    "ViewBuilder",
     "view",
+    "view_builder",
     "all_views",
     "view_partition",
+    "clear_caches",
+    "intern_stats",
     "RefinementResult",
     "color_refinement",
     "refinement_partition",

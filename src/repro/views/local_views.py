@@ -6,30 +6,161 @@ single vertex marked ``l(v)``; ``L_{d+1}(v)`` connects the root of
 ``u``.  Views are built bottom-up across the whole graph so the interning
 in :mod:`repro.views.view_tree` shares every repeated subtree — a single
 ``all_views(G, d)`` call allocates ``O(n · d)`` tree objects.
+
+Deepening is *incremental*: a :class:`ViewBuilder` caches the per-depth
+frontier maps for a graph, so ``all_views(g, d + 1)`` extends the cached
+depth-``d`` result with one more round instead of recomputing ``d``
+rounds from scratch.  Builders also watch the view partition: once two
+consecutive depths induce the same partition it is stable forever
+(Norris's theorem territory — the same early-exit criterion color
+refinement uses), and every deeper level is built with one
+``ViewTree.make`` per *class* instead of per node; nodes in one stable
+class provably share their view at every depth, so the produced trees
+are identical to the per-node construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ViewError
 from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.views import view_tree
 from repro.views.view_tree import ViewTree
+
+
+class ViewBuilder:
+    """Incrementally deepening view construction for one graph.
+
+    ``builder.views(d)`` returns ``{v: L_d(v)}``; successive calls with
+    growing depth reuse all previously built levels.  Use
+    :func:`all_views` for the module-level cached entry point.
+    """
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self.graph = graph
+        self._levels: List[Dict[Node, ViewTree]] = []
+        self._counts: List[int] = []
+        # Labels and their interned mark ids never change across levels;
+        # resolve them once and use the pre-ranked intern fast path.
+        self._marks: Dict[Node, object] = {v: graph.label(v) for v in graph.nodes}
+        self._mark_ids: Dict[Node, int] = {
+            v: view_tree._mark_id_of(mark) for v, mark in self._marks.items()
+        }
+        # Once the partition is stable: members and a representative per
+        # class, in a fixed order, for per-class level extension.
+        self._class_members: Optional[List[List[Node]]] = None
+        self._class_reps: Optional[List[Node]] = None
+
+    # -- construction ---------------------------------------------------
+
+    def _extend(self) -> None:
+        graph = self.graph
+        marks, mark_ids = self._marks, self._mark_ids
+        make = view_tree._make_ranked
+        if not self._levels:
+            level = {v: make(marks[v], mark_ids[v], ()) for v in graph.nodes}
+            self._levels.append(level)
+            self._counts.append(len({id(t) for t in level.values()}))
+            return
+        prev = self._levels[-1]
+        if self._class_reps is not None:
+            # Stable partition: one make() per class; every member of a
+            # class has the same view at every depth (class signatures no
+            # longer split), so assigning the representative's tree to
+            # all members reproduces the per-node result exactly.
+            level = {}
+            for rep, members in zip(self._class_reps, self._class_members):
+                tree = make(
+                    marks[rep], mark_ids[rep], [prev[u] for u in graph.neighbors(rep)]
+                )
+                for v in members:
+                    level[v] = tree
+            self._levels.append(level)
+            self._counts.append(self._counts[-1])
+            return
+        level = {
+            v: make(marks[v], mark_ids[v], [prev[u] for u in graph.neighbors(v)])
+            for v in graph.nodes
+        }
+        count = len({id(t) for t in level.values()})
+        self._levels.append(level)
+        self._counts.append(count)
+        if count == self._counts[-2]:
+            # The new level split nothing: the view partition is stable
+            # (deepening only refines), so freeze the classes.
+            groups: Dict[int, List[Node]] = {}
+            for v in graph.nodes:
+                groups.setdefault(id(level[v]), []).append(v)
+            self._class_members = list(groups.values())
+            self._class_reps = [members[0] for members in self._class_members]
+
+    def _ensure(self, depth: int) -> None:
+        if depth < 1:
+            raise ViewError(f"view depth must be at least 1, got {depth}")
+        while len(self._levels) < depth:
+            self._extend()
+
+    # -- queries --------------------------------------------------------
+
+    def views(self, depth: int) -> Dict[Node, ViewTree]:
+        """The views ``L_depth(v)`` for every node (a fresh dict)."""
+        self._ensure(depth)
+        return dict(self._levels[depth - 1])
+
+    def stable_depth(self) -> int:
+        """The smallest depth whose view partition equals the ``L_∞``
+        partition (the Norris depth; at most ``n``)."""
+        depth = 1
+        while True:
+            self._ensure(depth + 1)
+            if self._counts[depth] == self._counts[depth - 1]:
+                return depth
+            depth += 1
+
+    def partition(self, depth: int) -> List[Tuple[Node, ...]]:
+        """Nodes grouped by equal depth-``depth`` views, groups ordered by
+        the structural view order of their representative trees."""
+        views = self.views(depth)
+        groups: Dict[int, List[Node]] = {}
+        representative: Dict[int, ViewTree] = {}
+        for v in self.graph.nodes:
+            tree = views[v]
+            groups.setdefault(id(tree), []).append(v)
+            representative[id(tree)] = tree
+        ordered = sorted(groups, key=lambda key: representative[key].sort_key())
+        return [tuple(groups[key]) for key in ordered]
+
+
+# Builder registry: a small LRU keyed by graph identity.  Entries pin
+# their graph (so ids stay valid) and are evicted oldest-first; the
+# registry is emptied by ``repro.views.view_tree.clear_caches`` because
+# cached levels hold interned trees.
+_BUILDERS: "OrderedDict[int, Tuple[LabeledGraph, ViewBuilder]]" = OrderedDict()
+_BUILDER_CACHE_SIZE = 8
+
+view_tree.register_cache_clearer(_BUILDERS.clear)
+
+
+def view_builder(graph: LabeledGraph) -> ViewBuilder:
+    """The cached :class:`ViewBuilder` for ``graph`` (creating it on first
+    use).  Repeated ``all_views`` calls on the same graph share it."""
+    key = id(graph)
+    entry = _BUILDERS.get(key)
+    if entry is not None:
+        _BUILDERS.move_to_end(key)
+        return entry[1]
+    builder = ViewBuilder(graph)
+    _BUILDERS[key] = (graph, builder)
+    if len(_BUILDERS) > _BUILDER_CACHE_SIZE:
+        _BUILDERS.popitem(last=False)
+    return builder
 
 
 def all_views(graph: LabeledGraph, depth: int) -> Dict[Node, ViewTree]:
     """The views ``L_depth(v, graph)`` for every node ``v``."""
-    if depth < 1:
-        raise ViewError(f"view depth must be at least 1, got {depth}")
-    current: Dict[Node, ViewTree] = {
-        v: ViewTree.leaf(graph.label(v)) for v in graph.nodes
-    }
-    for _ in range(depth - 1):
-        current = {
-            v: ViewTree.make(graph.label(v), [current[u] for u in graph.neighbors(v)])
-            for v in graph.nodes
-        }
-    return current
+    return view_builder(graph).views(depth)
 
 
 def view(graph: LabeledGraph, v: Node, depth: int) -> ViewTree:
@@ -46,12 +177,4 @@ def view_partition(graph: LabeledGraph, depth: int) -> List[Tuple[Node, ...]]:
     At ``depth = n`` (the node count) this is the ``L_∞`` partition by
     Norris's theorem — the fibers of the infinite view map ``f_∞``.
     """
-    views = all_views(graph, depth)
-    groups: Dict[int, List[Node]] = {}
-    representative: Dict[int, ViewTree] = {}
-    for v in graph.nodes:
-        tree = views[v]
-        groups.setdefault(id(tree), []).append(v)
-        representative[id(tree)] = tree
-    ordered = sorted(groups, key=lambda key: representative[key].sort_key())
-    return [tuple(groups[key]) for key in ordered]
+    return view_builder(graph).partition(depth)

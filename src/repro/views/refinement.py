@@ -11,6 +11,16 @@ and their child *multisets* agree — which is precisely one refinement
 step (views are trees with canonically sorted children, so child
 sequences are multisets).
 
+Colors are small integers: each round hashes the signature ``(own color,
+sorted tuple of neighbor colors)`` through a palette dict that renumbers
+signatures densely in sorted order — the classic ``O(m)``-per-round
+hashing refinement.  The canonical numbering is unchanged from the
+historical string encoding because the palette sorts signatures exactly
+as the concatenated strings sorted.  Two early exits stop the loop: a
+round that splits nothing (the partition is stable — the same criterion
+:class:`repro.views.local_views.ViewBuilder` uses to stop deepening),
+and a discrete partition (every node its own class, trivially stable).
+
 Norris's theorem (paper Theorem 3) appears here as the fact that the
 partition is stable after at most ``n - 1`` rounds; the measured
 stabilization depth is one of our experiment outputs.
@@ -18,33 +28,53 @@ stabilization depth is one of our experiment outputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
+from repro.views import view_tree
+
+# Memoized uncapped runs: id(graph) -> (graph pinned, result).  Same
+# LRU discipline as the ViewBuilder registry; cleared with the view
+# caches so benchmark sessions stay bounded.
+_RESULT_CACHE: "OrderedDict[int, Tuple[LabeledGraph, RefinementResult]]" = OrderedDict()
+_RESULT_CACHE_SIZE = 16
+
+view_tree.register_cache_clearer(_RESULT_CACHE.clear)
 
 
 @dataclass(frozen=True)
 class RefinementResult:
-    """Outcome of running color refinement to stability.
+    """Outcome of running color refinement.
 
     Attributes
     ----------
     classes:
-        Stable class index per node.  Classes are numbered ``0, 1, ...``
-        in a canonical order (sorted by class signature history), so two
-        runs on isomorphic graphs number corresponding classes equally.
+        Class index per node after the run.  Classes are numbered
+        ``0, 1, ...`` in a canonical order (sorted by class signature
+        history), so two runs on isomorphic graphs number corresponding
+        classes equally.
     rounds_to_stable:
-        Number of refinement rounds until the partition stopped changing.
+        Number of refinement rounds performed until the partition stopped
+        changing — or, when a ``max_rounds`` cap cut the run short, until
+        the cap (check :attr:`stable`).  For a stable run,
         ``rounds_to_stable + 1`` is the view depth at which views
         determine ``L_∞`` for this graph (compare with Norris's ``n``).
     history:
         Per-round class counts, starting with the initial (label) round.
+    stable:
+        Whether the returned partition was *verified* stable: a round
+        split nothing, or every node sits in its own class.  Uncapped
+        runs are always stable; a run capped by ``max_rounds`` may stop
+        while the partition is still refining, in which case ``classes``
+        is the partition after exactly ``max_rounds`` rounds.
     """
 
     classes: Dict[Node, int]
     rounds_to_stable: int
     history: Tuple[int, ...]
+    stable: bool = True
 
     @property
     def num_classes(self) -> int:
@@ -58,46 +88,69 @@ def color_refinement(
 
     ``max_rounds`` optionally caps the rounds (used by the benchmarks to
     observe intermediate partitions); by default refinement runs to
-    stability, which takes at most ``n - 1`` rounds.
+    stability, which takes at most ``n - 1`` rounds.  With a cap the
+    result's :attr:`RefinementResult.stable` records whether stability
+    was actually reached — a capped run is *not* assumed stable merely
+    because it used all its rounds.
+
+    Uncapped results are memoized per graph object (graphs are
+    immutable), so repeated partition queries — quotients, stabilization
+    depths, benchmarks — pay for refinement once.
     """
-    # Colors are canonical strings so that renumbering is deterministic
-    # and independent of node ids.
-    color: Dict[Node, str] = {v: repr(_freeze(graph.label(v))) for v in graph.nodes}
-    history: List[int] = [len(set(color.values()))]
+    if max_rounds is None:
+        cached = _RESULT_CACHE.get(id(graph))
+        if cached is not None:
+            _RESULT_CACHE.move_to_end(id(graph))
+            result = cached[1]
+            return RefinementResult(
+                classes=dict(result.classes),
+                rounds_to_stable=result.rounds_to_stable,
+                history=result.history,
+                stable=result.stable,
+            )
+    nodes = graph.nodes
+    num_nodes = graph.num_nodes
+    # Work on dense node indices: adjacency as index tuples, colors as a
+    # flat list — every round is then pure small-int tuple hashing.
+    index = {v: i for i, v in enumerate(nodes)}
+    adjacency = [tuple(index[u] for u in graph.neighbors(v)) for v in nodes]
+    # Seed colors canonically: distinct labels ranked by their serialized
+    # form, so numbering is deterministic and independent of node ids.
+    initial = [repr(_freeze(graph.label(v))) for v in nodes]
+    seed_palette = {key: i for i, key in enumerate(sorted(set(initial)))}
+    color: List[int] = [seed_palette[key] for key in initial]
+    history: List[int] = [len(seed_palette)]
     rounds = 0
-    limit = graph.num_nodes if max_rounds is None else max_rounds
-    while rounds < limit:
-        new_color = {
-            v: color[v] + "|" + ",".join(sorted(color[u] for u in graph.neighbors(v)))
-            for v in graph.nodes
-        }
-        # Compress to keep strings short: canonical renumbering by sorted
-        # signature.  The compressed color preserves the partition and the
-        # cross-round refinement order because refinement only ever splits.
-        palette = {sig: i for i, sig in enumerate(sorted(set(new_color.values())))}
-        compressed = {v: f"{palette[new_color[v]]:06d}" for v in graph.nodes}
-        rounds += 1
-        history.append(len(palette))
-        if len(palette) == history[-2]:
+    stable = len(seed_palette) == num_nodes  # discrete partitions are stable
+    limit = num_nodes if max_rounds is None else max_rounds
+    node_range = range(num_nodes)
+    while not stable and rounds < limit:
+        signature = [
+            (color[i], tuple(sorted([color[j] for j in adjacency[i]])))
+            for i in node_range
+        ]
+        palette = {sig: k for k, sig in enumerate(sorted(set(signature)))}
+        if len(palette) == history[-1]:
             # A refinement round that does not increase the class count
             # leaves the partition unchanged (refinement only splits).
-            color = compressed
-            rounds -= 1  # the last round changed nothing
-            history.pop()
+            stable = True
             break
-        color = compressed
-    classes = _canonical_class_numbers(graph, color)
-    return RefinementResult(
-        classes=classes, rounds_to_stable=rounds, history=tuple(history)
+        color = [palette[sig] for sig in signature]
+        rounds += 1
+        history.append(len(palette))
+        if len(palette) == num_nodes:
+            stable = True
+    result = RefinementResult(
+        classes={v: color[index[v]] for v in nodes},
+        rounds_to_stable=rounds,
+        history=tuple(history),
+        stable=stable,
     )
-
-
-def _canonical_class_numbers(
-    graph: LabeledGraph, color: Dict[Node, str]
-) -> Dict[Node, int]:
-    ordered = sorted(set(color.values()))
-    index = {value: i for i, value in enumerate(ordered)}
-    return {v: index[color[v]] for v in graph.nodes}
+    if max_rounds is None and stable:
+        _RESULT_CACHE[id(graph)] = (graph, result)
+        if len(_RESULT_CACHE) > _RESULT_CACHE_SIZE:
+            _RESULT_CACHE.popitem(last=False)
+    return result
 
 
 def refinement_partition(graph: LabeledGraph) -> List[Tuple[Node, ...]]:
@@ -113,4 +166,6 @@ def stabilization_depth(graph: LabeledGraph) -> int:
     """The smallest view depth ``d`` with the ``L_d`` partition already
     equal to the ``L_∞`` partition.  Norris's theorem bounds this by
     ``n``; the benches measure how much smaller it typically is."""
-    return color_refinement(graph).rounds_to_stable + 1
+    result = color_refinement(graph)
+    assert result.stable  # uncapped refinement always reaches stability
+    return result.rounds_to_stable + 1

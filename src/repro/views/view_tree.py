@@ -19,28 +19,163 @@ per neighbor.  Three design points matter:
   equality (children are a multiset, not a sequence, because a node does
   not know which neighbor is "first").
 
-* **Structural total order.**  ``ViewTree.compare`` orders trees by
-  depth, then root mark (serialized), then children lexicographically.
+* **Structural total order, ranked.**  ``ViewTree.compare`` orders trees
+  by depth, then root mark (serialized), then children lexicographically.
   It is construction-order independent, so every node of a distributed
   algorithm computes the *same* order — the property Lemma 1 needs.
+  Rather than comparing trees pairwise, every interned tree is assigned a
+  **canonical rank** at intern time: the triple ``(depth, mark rank,
+  bucket rank)`` compared as plain integers realizes exactly the
+  structural order, so ``compare`` is O(1) and ``make`` sorts children by
+  an integer key instead of a comparator.  Ranks are dense integers
+  maintained per ``(depth, mark)`` bucket; interning a tree in the middle
+  of a bucket renumbers only that bucket's suffix, and interning a new
+  mark key in the middle of the mark order renumbers only the (small)
+  mark-rank table.  See ``docs/PERFORMANCE.md`` for the cost model.
 """
 
 from __future__ import annotations
 
-import functools
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graphs.labeled_graph import _freeze
 
-_INTERN: Dict[Tuple, "ViewTree"] = {}
-_COMPARE_CACHE: Dict[Tuple[int, int], int] = {}
+# Interned trees: (mark id, child object ids) -> tree.  Children are
+# already canonically ordered when the key is formed, so structural
+# equality coincides with key equality.
+_INTERN: Dict[Tuple[int, Tuple[int, ...]], "ViewTree"] = {}
 _TRUNCATE_CACHE: Dict[Tuple[int, int], "ViewTree"] = {}
+
+# Mark-key table: each distinct serialized mark (``repr(_freeze(mark))``)
+# gets a *mark id* (arbitrary, stable) and a *mark rank* (dense, ordered
+# like the key strings).  The expensive ``repr`` runs once per distinct
+# mark; every later intern is a dict hit.
+_MARK_ID_BY_FROZEN: Dict[Any, int] = {}
+_MARK_ID_BY_KEY: Dict[str, int] = {}
+_MARK_KEYS: List[str] = []  # mark id -> serialized key
+_MARK_RANK: List[int] = []  # mark id -> dense rank, ordered like the keys
+_MARK_SORTED_KEYS: List[str] = []  # keys in sorted order
+_MARK_SORTED_IDS: List[int] = []  # ids in key-sorted order
+
+# Rank buckets: (depth, mark id) -> trees sorted by the lexicographic
+# order of their child rank sequences.  A tree's ``_bucket_rank`` is its
+# index in its bucket, so (depth, mark rank, bucket rank) compared as an
+# integer triple realizes the structural total order.
+_BUCKETS: Dict[Tuple[int, int], List["ViewTree"]] = {}
+
+_STATS = {"mark_renumbers": 0, "bucket_shifts": 0}
+
+# Caches elsewhere (e.g. the ViewBuilder registry in local_views) hold
+# interned trees; clear_caches() must empty them too or stale trees with
+# dangling ranks would leak into fresh interning epochs.
+_CACHE_CLEAR_HOOKS: List[Callable[[], None]] = []
+
+
+def register_cache_clearer(hook: Callable[[], None]) -> None:
+    """Register a callback run by :func:`clear_caches` (for caches outside
+    this module that hold interned trees)."""
+    _CACHE_CLEAR_HOOKS.append(hook)
+
+
+def _mark_id_of(mark: Any) -> int:
+    frozen = _freeze(mark)
+    try:
+        mark_id = _MARK_ID_BY_FROZEN.get(frozen)
+        hashable = True
+    except TypeError:  # exotic unhashable mark: fall back to repr only
+        mark_id = None
+        hashable = False
+    if mark_id is not None:
+        return mark_id
+    key = repr(frozen)
+    mark_id = _MARK_ID_BY_KEY.get(key)
+    if mark_id is None:
+        mark_id = len(_MARK_KEYS)
+        _MARK_KEYS.append(key)
+        _MARK_ID_BY_KEY[key] = mark_id
+        _MARK_RANK.append(0)
+        position = bisect_left(_MARK_SORTED_KEYS, key)
+        _MARK_SORTED_KEYS.insert(position, key)
+        _MARK_SORTED_IDS.insert(position, mark_id)
+        if position == len(_MARK_SORTED_IDS) - 1:
+            _MARK_RANK[mark_id] = position
+        else:
+            # A key landed in the middle of the order: renumber.  Rare
+            # (once per distinct mark at most) and O(#marks).
+            _STATS["mark_renumbers"] += 1
+            for rank, mid in enumerate(_MARK_SORTED_IDS):
+                _MARK_RANK[mid] = rank
+    if hashable:
+        _MARK_ID_BY_FROZEN[frozen] = mark_id
+    return mark_id
+
+
+def _rank_key(tree: "ViewTree") -> Tuple[int, int, int]:
+    return (tree.depth, _MARK_RANK[tree._mark_id], tree._bucket_rank)
+
+
+def _children_key(tree: "ViewTree") -> Tuple[Tuple[int, int, int], ...]:
+    return tuple(
+        (c.depth, _MARK_RANK[c._mark_id], c._bucket_rank) for c in tree.children
+    )
+
+
+def _make_ranked(mark: Any, mark_id: int, children: Sequence["ViewTree"]) -> "ViewTree":
+    """Intern a tree given a pre-resolved mark id.
+
+    ``ViewTree.make`` resolves the id from the mark; builders that apply
+    the same mark level after level (see
+    :class:`repro.views.local_views.ViewBuilder`) resolve it once and
+    call this directly, skipping the per-call mark serialization.
+    """
+    if len(children) > 1:
+        ordered = tuple(sorted(children, key=_rank_key))
+    else:
+        ordered = tuple(children)
+    key = (mark_id, tuple(map(id, ordered)))
+    tree = _INTERN.get(key)
+    if tree is None:
+        tree = ViewTree(mark, ordered, _MAKE_TOKEN)
+        tree._mark_id = mark_id
+        _register_rank(tree)
+        _INTERN[key] = tree
+    return tree
+
+
+def _register_rank(tree: "ViewTree") -> None:
+    """Insert a freshly interned tree into its (depth, mark) bucket.
+
+    Bucket members are kept sorted by the lexicographic order of their
+    child rank sequences (ties impossible: equal children would have hit
+    the intern table).  Appending at the end is O(1); a middle insert
+    renumbers the bucket suffix — dense ranks stay dense.
+    """
+    bucket_id = (tree.depth, tree._mark_id)
+    bucket = _BUCKETS.get(bucket_id)
+    if bucket is None:
+        _BUCKETS[bucket_id] = [tree]
+        tree._bucket_rank = 0
+        return
+    key = _children_key(tree)
+    lo, hi = 0, len(bucket)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _children_key(bucket[mid]) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    bucket.insert(lo, tree)
+    if lo != len(bucket) - 1:
+        _STATS["bucket_shifts"] += 1
+    for i in range(lo, len(bucket)):
+        bucket[i]._bucket_rank = i
 
 
 class ViewTree:
     """A hash-consed rooted marked tree.  Use :meth:`make`, not ``__init__``."""
 
-    __slots__ = ("mark", "children", "depth", "size", "_mark_key", "__weakref__")
+    __slots__ = ("mark", "children", "depth", "size", "_mark_id", "_bucket_rank", "__weakref__")
 
     mark: Any
     children: Tuple["ViewTree", ...]
@@ -54,7 +189,6 @@ class ViewTree:
         self.children = children
         self.depth = 1 + (max(c.depth for c in children) if children else 0)
         self.size = 1 + sum(c.size for c in children)
-        self._mark_key = repr(_freeze(mark))
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,13 +197,7 @@ class ViewTree:
     @staticmethod
     def make(mark: Any, children: Sequence["ViewTree"] = ()) -> "ViewTree":
         """The interned tree with the given root mark and child multiset."""
-        ordered = tuple(sorted(children, key=functools.cmp_to_key(ViewTree.compare)))
-        key = (repr(_freeze(mark)), tuple(id(c) for c in ordered))
-        tree = _INTERN.get(key)
-        if tree is None:
-            tree = ViewTree(mark, ordered, _MAKE_TOKEN)
-            _INTERN[key] = tree
-        return tree
+        return _make_ranked(mark, _mark_id_of(mark), children)
 
     @staticmethod
     def leaf(mark: Any) -> "ViewTree":
@@ -88,35 +216,28 @@ class ViewTree:
         lists compared lexicographically (shorter list first on ties).
         Depth-first ordering matches the paper's convention that shorter
         objects precede longer ones (cf. the assignment order in §2.2).
+        Implemented as an O(1) comparison of canonical ranks.
         """
         if a is b:
             return 0
-        key = (id(a), id(b))
-        cached = _COMPARE_CACHE.get(key)
-        if cached is not None:
-            return cached
-        result = ViewTree._compare_uncached(a, b)
-        _COMPARE_CACHE[key] = result
-        _COMPARE_CACHE[(id(b), id(a))] = -result
-        return result
-
-    @staticmethod
-    def _compare_uncached(a: "ViewTree", b: "ViewTree") -> int:
         if a.depth != b.depth:
             return -1 if a.depth < b.depth else 1
-        if a._mark_key != b._mark_key:
-            return -1 if a._mark_key < b._mark_key else 1
-        for child_a, child_b in zip(a.children, b.children):
-            result = ViewTree.compare(child_a, child_b)
-            if result != 0:
-                return result
-        if len(a.children) != len(b.children):
-            return -1 if len(a.children) < len(b.children) else 1
-        return 0
+        rank_a = _MARK_RANK[a._mark_id]
+        rank_b = _MARK_RANK[b._mark_id]
+        if rank_a != rank_b:
+            return -1 if rank_a < rank_b else 1
+        # Same depth and mark: distinct interned trees in one bucket
+        # always have distinct bucket ranks.
+        return -1 if a._bucket_rank < b._bucket_rank else 1
 
-    def sort_key(self) -> Any:
-        """A key usable with ``sorted`` (wraps :meth:`compare`)."""
-        return functools.cmp_to_key(ViewTree.compare)(self)
+    def sort_key(self) -> Tuple[int, int, int]:
+        """A key usable with ``sorted``: the canonical rank triple.
+
+        Keys are valid for comparisons among trees alive now; interning
+        *new* trees may shift ranks (order-preservingly), so do not store
+        keys across interning and compare them later.
+        """
+        return (self.depth, _MARK_RANK[self._mark_id], self._bucket_rank)
 
     def __lt__(self, other: "ViewTree") -> bool:
         return ViewTree.compare(self, other) < 0
@@ -192,9 +313,41 @@ class ViewTree:
 _MAKE_TOKEN = object()
 
 
+def clear_caches() -> None:
+    """Empty the intern table, rank tables, truncation cache and every
+    registered dependent cache (view builders, …).
+
+    Intended for long benchmark sessions so parametrized cases don't
+    accumulate unbounded interned trees.  Trees created *before* a clear
+    must not be mixed with trees created after it (their ranks refer to
+    the discarded tables); clear only between independent workloads.
+    """
+    _INTERN.clear()
+    _TRUNCATE_CACHE.clear()
+    _MARK_ID_BY_FROZEN.clear()
+    _MARK_ID_BY_KEY.clear()
+    _MARK_KEYS.clear()
+    _MARK_RANK.clear()
+    _MARK_SORTED_KEYS.clear()
+    _MARK_SORTED_IDS.clear()
+    _BUCKETS.clear()
+    _STATS["mark_renumbers"] = 0
+    _STATS["bucket_shifts"] = 0
+    for hook in _CACHE_CLEAR_HOOKS:
+        hook()
+
+
 def intern_stats() -> Dict[str, int]:
-    """Sizes of the intern and comparison caches (for perf diagnostics)."""
-    return {"trees": len(_INTERN), "comparisons": len(_COMPARE_CACHE)}
+    """Sizes of the intern/rank tables (for perf diagnostics)."""
+    return {
+        "trees": len(_INTERN),
+        "marks": len(_MARK_KEYS),
+        "buckets": len(_BUCKETS),
+        "max_bucket": max((len(b) for b in _BUCKETS.values()), default=0),
+        "truncations": len(_TRUNCATE_CACHE),
+        "mark_renumbers": _STATS["mark_renumbers"],
+        "bucket_shifts": _STATS["bucket_shifts"],
+    }
 
 
 def view_to_dict(tree: ViewTree) -> dict:

@@ -1,0 +1,130 @@
+"""Property tests: refinement == explicit views, under the rank engine.
+
+The integer-ranked view engine and tuple-based refinement must preserve
+the paper's core equivalence (Section 1.1 + Theorem 3): the partition by
+stable refinement classes equals the partition by depth-``n`` views, and
+stabilization happens within ``n`` rounds.  These properties pin the
+refactor across random connected graphs, cycles, and 2-hop colored
+variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builders import (
+    cycle_graph,
+    random_connected_graph,
+    with_uniform_input,
+)
+from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.views.local_views import view_partition
+from repro.views.refinement import (
+    color_refinement,
+    refinement_partition,
+    stabilization_depth,
+)
+
+
+def _colored(graph):
+    return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def _normalized(partition):
+    return sorted(tuple(sorted(group)) for group in partition)
+
+
+def _assert_equivalence(graph):
+    n = graph.num_nodes
+    assert _normalized(refinement_partition(graph)) == _normalized(
+        view_partition(graph, n)
+    )
+    assert 1 <= stabilization_depth(graph) <= n
+
+
+class TestRandomConnected:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_equivalence(self, n, seed):
+        _assert_equivalence(with_uniform_input(random_connected_graph(n, 0.3, seed=seed)))
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_equivalence_two_hop_colored(self, n, seed):
+        g = _colored(with_uniform_input(random_connected_graph(n, 0.4, seed=seed)))
+        _assert_equivalence(g)
+        # A valid 2-hop coloring forces stability within one round of the
+        # initial split (neighborhood marks are already distinct).
+        assert color_refinement(g).stable
+
+
+class TestCycles:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 8, 12, 17])
+    def test_uniform_cycle(self, n):
+        _assert_equivalence(with_uniform_input(cycle_graph(n)))
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 9, 12])
+    def test_colored_cycle(self, n):
+        _assert_equivalence(_colored(with_uniform_input(cycle_graph(n))))
+
+    def test_uniform_cycle_is_one_class_immediately(self):
+        result = color_refinement(with_uniform_input(cycle_graph(9)))
+        assert result.num_classes == 1
+        assert result.rounds_to_stable == 0
+        assert result.stable
+
+
+class TestMaxRoundsSemantics:
+    """A capped run must report stability honestly (the off-by-one fix)."""
+
+    def _line(self, n):
+        # Paths refine slowly from the endpoints inward: a long path needs
+        # many rounds, so small caps genuinely truncate.
+        from repro.graphs.builders import path_graph
+
+        return with_uniform_input(path_graph(n))
+
+    def test_capped_run_is_not_reported_stable(self):
+        g = self._line(12)
+        full = color_refinement(g)
+        assert full.stable
+        capped = color_refinement(g, max_rounds=1)
+        assert capped.rounds_to_stable == 1
+        assert not capped.stable
+        assert capped.num_classes < full.num_classes
+
+    def test_cap_equal_to_need_is_detected_when_discrete(self):
+        # path(2) with distinct labels: discrete immediately, stable with
+        # zero rounds even under a cap of zero.
+        from repro.graphs.builders import path_graph
+
+        g = path_graph(2).with_layer("input", {0: "a", 1: "b"})
+        capped = color_refinement(g, max_rounds=0)
+        assert capped.stable
+        assert capped.rounds_to_stable == 0
+
+    def test_generous_cap_reports_stable(self):
+        g = self._line(7)
+        capped = color_refinement(g, max_rounds=g.num_nodes)
+        assert capped.stable
+        assert capped.classes == color_refinement(g).classes
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_capped_prefix_matches_uncapped_rounds(self, n, cap):
+        g = self._line(n)
+        capped = color_refinement(g, max_rounds=cap)
+        full = color_refinement(g)
+        if capped.stable:
+            assert capped.classes == full.classes
+        else:
+            assert capped.rounds_to_stable == cap
+            # history is a prefix of the full run's history
+            assert full.history[: len(capped.history)] == capped.history

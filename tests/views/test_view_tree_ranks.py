@@ -1,0 +1,139 @@
+"""Regression tests for the integer-ranked view tree engine.
+
+The refactor replaced pairwise structural comparison with canonical
+ranks assigned at intern time.  These tests pin the two properties the
+rest of the codebase relies on: interning is order-insensitive in the
+child sequence, and ranks are monotone with the documented structural
+order (depth, then serialized mark, then children lexicographic).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.views.view_tree import ViewTree, clear_caches, intern_stats
+
+
+def reference_compare(a: ViewTree, b: ViewTree) -> int:
+    """The documented structural order, computed the slow pairwise way."""
+    if a is b:
+        return 0
+    if a.depth != b.depth:
+        return -1 if a.depth < b.depth else 1
+    key_a, key_b = repr(a.mark), repr(b.mark)
+    if key_a != key_b:
+        return -1 if key_a < key_b else 1
+    for child_a, child_b in zip(a.children, b.children):
+        result = reference_compare(child_a, child_b)
+        if result != 0:
+            return result
+    if len(a.children) != len(b.children):
+        return -1 if len(a.children) < len(b.children) else 1
+    return 0
+
+
+def _tree_pool(seed: int, rounds: int = 200) -> list:
+    """A pool of interned trees built in adversarial (unsorted) order so
+    mark renumbering and mid-bucket inserts both get exercised."""
+    rng = random.Random(seed)
+    marks = ["m", "b", "zz", "a", "x", "ab"]
+    pool = [ViewTree.leaf(m) for m in marks[:3]]
+    for _ in range(rounds):
+        arity = rng.randint(0, 3)
+        children = rng.sample(pool, min(arity, len(pool)))
+        pool.append(ViewTree.make(rng.choice(marks), children))
+    return pool
+
+
+class TestPermutationInterning:
+    def test_permuted_children_same_object(self):
+        leaves = [ViewTree.leaf(m) for m in ["c", "a", "b"]]
+        trees = {
+            id(ViewTree.make("root", list(perm)))
+            for perm in itertools.permutations(leaves)
+        }
+        assert len(trees) == 1
+
+    def test_permuted_nested_children_same_object(self):
+        inner_1 = ViewTree.make("i", [ViewTree.leaf("a"), ViewTree.leaf("b")])
+        inner_2 = ViewTree.make("j", [ViewTree.leaf("b")])
+        inner_3 = ViewTree.leaf("k")
+        trees = {
+            id(ViewTree.make("r", list(perm)))
+            for perm in itertools.permutations([inner_1, inner_2, inner_3])
+        }
+        assert len(trees) == 1
+
+    def test_duplicate_children_preserved(self):
+        shared = ViewTree.leaf("s")
+        tree = ViewTree.make("r", [shared, shared])
+        assert tree.children == (shared, shared)
+        assert tree is ViewTree.make("r", [shared, shared])
+
+
+class TestRankMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_compare_matches_reference(self, seed):
+        pool = _tree_pool(seed)
+        for a, b in itertools.combinations(pool, 2):
+            want = reference_compare(a, b)
+            got = ViewTree.compare(a, b)
+            assert (got > 0) == (want > 0) and (got == 0) == (want == 0)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_sort_key_sorts_like_reference(self, seed):
+        pool = list({id(t): t for t in _tree_pool(seed)}.values())
+        by_rank = sorted(pool, key=lambda t: t.sort_key())
+        # Reference order via insertion sort with the pairwise comparator.
+        import functools
+
+        by_reference = sorted(pool, key=functools.cmp_to_key(reference_compare))
+        assert [id(t) for t in by_rank] == [id(t) for t in by_reference]
+
+    def test_rank_ordering_depth_dominates(self):
+        deep = ViewTree.make("a", [ViewTree.leaf("a")])
+        shallow = ViewTree.leaf("zzz")  # later mark, smaller depth
+        assert shallow.sort_key() < deep.sort_key()
+        assert ViewTree.compare(shallow, deep) < 0
+
+    def test_rank_survives_mark_renumbering(self):
+        # Interning a mark that sorts before existing ones forces the
+        # mark-rank table to renumber; previously assigned trees must
+        # keep their relative order.
+        late = ViewTree.leaf("zz")
+        early = ViewTree.leaf("mm")
+        assert early < late
+        ViewTree.leaf("aa")  # renumbers: "aa" < "mm" < "zz"
+        assert early < late
+        assert ViewTree.leaf("aa") < early
+
+    def test_mid_bucket_insert_keeps_order(self):
+        a, b, c = ViewTree.leaf("a"), ViewTree.leaf("b"), ViewTree.leaf("c")
+        first = ViewTree.make("x", [a])
+        third = ViewTree.make("x", [c])
+        assert first < third
+        second = ViewTree.make("x", [b])  # lands between the two
+        assert first < second < third
+
+
+class TestClearCaches:
+    def test_clear_empties_all_tables(self):
+        ViewTree.make("x", [ViewTree.leaf("a"), ViewTree.leaf("b")])
+        stats = intern_stats()
+        assert stats["trees"] >= 3 and stats["marks"] >= 3
+        clear_caches()
+        stats = intern_stats()
+        assert stats["trees"] == 0
+        assert stats["marks"] == 0
+        assert stats["buckets"] == 0
+        assert stats["truncations"] == 0
+
+    def test_interning_restarts_cleanly_after_clear(self):
+        clear_caches()
+        tree = ViewTree.make("x", [ViewTree.leaf("b"), ViewTree.leaf("a")])
+        again = ViewTree.make("x", [ViewTree.leaf("a"), ViewTree.leaf("b")])
+        assert tree is again
+        assert ViewTree.leaf("a") < ViewTree.leaf("b") < tree
