@@ -2,7 +2,16 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench perf perf-smoke
+# Files already migrated to `ruff format`; extend as modules are touched.
+FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
+
+# Extra flags for the perf-smoke gate.  CI runs on different hardware
+# than the committed baseline, so its workflow passes
+#   PERF_SMOKE_FLAGS="--allow-machine-mismatch --tolerance 5.0"
+# (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
+PERF_SMOKE_FLAGS ?=
+
+.PHONY: test bench perf perf-smoke lint typecheck experiments ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -14,4 +23,25 @@ perf:  ## rewrite the BENCH_views.json perf baseline
 	$(PYTHON) benchmarks/run_perf_suite.py
 
 perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs baseline
-	$(PYTHON) benchmarks/run_perf_suite.py --quick --check
+	$(PYTHON) benchmarks/run_perf_suite.py --quick --check $(PERF_SMOKE_FLAGS)
+
+lint:  ## ruff: lint everything, format-check the migrated files
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples && \
+		$(PYTHON) -m ruff format --check $(FORMAT_PATHS); \
+	else \
+		echo "SKIPPED lint: ruff not installed (pip install -e .[dev])"; \
+	fi
+
+typecheck:  ## mypy over the typed file set (see [tool.mypy] files in pyproject.toml)
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHONPATH_SRC) $(PYTHON) -m mypy; \
+	else \
+		echo "SKIPPED typecheck: mypy not installed (pip install -e .[dev])"; \
+	fi
+
+experiments:  ## run every experiment in parallel, writing the JSON artifact
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments --all --jobs 4 \
+		--json RESULTS_experiments.json
+
+ci: lint typecheck test perf-smoke  ## exactly what .github/workflows/ci.yml runs

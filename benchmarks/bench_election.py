@@ -19,7 +19,7 @@ from repro.algorithms.monte_carlo_election import (
     failure_probability_bound,
 )
 from repro.analysis.sweeps import SweepRow, format_table
-from repro.graphs.builders import cycle_graph, path_graph, star_graph, with_uniform_input
+from repro.graphs.builders import cycle_graph, path_graph, star_graph
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
 from repro.graphs.lifts import cyclic_lift
 from repro.problems.election import LEADER, LeaderElectionProblem, MinimalViewElection

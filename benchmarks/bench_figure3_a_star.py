@@ -54,7 +54,7 @@ def test_a_star_on_lifted_cycles(fiber, report, benchmark):
     report(
         format_table(
             f"Figure 3 — faithful A_* on the colored C{3 * fiber} "
-            f"(lift of C3, quotient size 3)",
+            "(lift of C3, quotient size 3)",
             ["selected |V*|", "distinct selections"],
             rows,
         )

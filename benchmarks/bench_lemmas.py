@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.analysis.sweeps import SweepRow, format_table
 from repro.factor.prime import all_factors, is_prime, prime_factors
-from repro.factor.quotient import finite_view_graph, infinite_view_graph
+from repro.factor.quotient import infinite_view_graph
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.isomorphism import are_isomorphic
 from repro.views.local_views import all_views

@@ -8,7 +8,6 @@ the statement the paper's correctness proofs lean on twice.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algorithms.luby_mis import AnonymousMISAlgorithm
 from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm

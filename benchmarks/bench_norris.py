@@ -9,7 +9,7 @@ machinery implicitly pays for.
 from __future__ import annotations
 
 from repro.analysis.sweeps import SweepRow, format_table, standard_families
-from repro.graphs.builders import cycle_graph, path_graph, with_uniform_input
+from repro.graphs.builders import path_graph, with_uniform_input
 from repro.views.refinement import color_refinement, stabilization_depth
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.sweeps import SweepRow, format_table
-from repro.core.orders import canonical_node_order, finite_view_graph_sort_key
+from repro.core.orders import finite_view_graph_sort_key
 from repro.factor.quotient import finite_view_graph
 from repro.graphs.builders import cycle_graph, random_connected_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring

@@ -7,7 +7,7 @@ outputs at a one-round overhead, and benchmarks the emulation cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.analysis.sweeps import SweepRow, format_table

@@ -71,7 +71,7 @@ def test_theorem1_sweep(problem_name, report, benchmark):
         )
     report(
         format_table(
-            f"Theorem 1 — pipeline (random 2-hop stage + deterministic stage) "
+            "Theorem 1 — pipeline (random 2-hop stage + deterministic stage) "
             f"for {problem_name}; every row validated",
             ["n", "stage1 rounds", "quotient", "sim rounds", "assignment bits"],
             rows,

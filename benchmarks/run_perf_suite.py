@@ -12,7 +12,12 @@ interning statistics.  Future PRs regress against the committed file:
 
 ``--check`` exits non-zero when cold view construction at the guard case
 (cycle n=64, depth 64) regresses more than the allowed factor (default
-2x) against the committed baseline — the CI ``perf-smoke`` gate.
+2x) against the committed baseline — the CI ``perf-smoke`` gate.  A
+timing ratio is only meaningful between runs on the same hardware, so
+``--check`` first compares the recorded machine specs (platform, Python
+version, implementation) and refuses with a field-by-field diff when
+they differ; pass ``--allow-machine-mismatch`` to compare anyway (CI
+does, with a widened ``--tolerance`` — see docs/PERFORMANCE.md).
 
 Each *cold* sample clears the intern/rank tables and builder caches
 first (`repro.views.clear_caches`), measuring construction from nothing;
@@ -149,11 +154,43 @@ def _guard_time(payload: dict):
     return None
 
 
-def check_against_baseline(current: dict, baseline_path: Path, tolerance: float) -> int:
+def _machine_mismatch(baseline: dict, current: dict) -> list:
+    """Field-by-field diff of the recorded machine specs (empty = same)."""
+    base_machine = baseline.get("machine", {})
+    cur_machine = current.get("machine", {})
+    diffs = []
+    for field in sorted(set(base_machine) | set(cur_machine)):
+        base_value = base_machine.get(field, "<missing>")
+        cur_value = cur_machine.get(field, "<missing>")
+        if base_value != cur_value:
+            diffs.append(f"  {field}: baseline={base_value!r} vs current={cur_value!r}")
+    return diffs
+
+
+def check_against_baseline(
+    current: dict,
+    baseline_path: Path,
+    tolerance: float,
+    allow_machine_mismatch: bool = False,
+) -> int:
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; run without --check to create one")
         return 1
     baseline = json.loads(baseline_path.read_text())
+    mismatch = _machine_mismatch(baseline, current)
+    if mismatch:
+        print(f"machine specs differ from the committed baseline ({baseline_path}):")
+        for line in mismatch:
+            print(line)
+        if not allow_machine_mismatch:
+            print(
+                "timing ratios across machines are not comparable; refusing "
+                "the check.  Re-record the baseline on this machine (run "
+                "without --check) or pass --allow-machine-mismatch (ideally "
+                "with a widened --tolerance) to compare anyway."
+            )
+            return 3
+        print("--allow-machine-mismatch given: comparing anyway")
     base_time = _guard_time(baseline)
     new_time = _guard_time(current)
     if base_time is None or new_time is None:
@@ -181,7 +218,7 @@ def _print_table(payload: dict) -> None:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(description=(__doc__ or "").splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="smaller sweep (CI smoke)")
     parser.add_argument("--repeats", type=int, default=5, help="samples per case")
     parser.add_argument(
@@ -196,6 +233,14 @@ def main(argv=None) -> int:
         help="allowed slowdown factor for --check (default 2.0)",
     )
     parser.add_argument(
+        "--allow-machine-mismatch",
+        action="store_true",
+        help=(
+            "compare against a baseline recorded on different machine specs "
+            "instead of refusing (consider widening --tolerance)"
+        ),
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="baseline file path"
     )
     args = parser.parse_args(argv)
@@ -204,7 +249,12 @@ def main(argv=None) -> int:
     _print_table(payload)
 
     if args.check:
-        return check_against_baseline(payload, args.output, args.tolerance)
+        return check_against_baseline(
+            payload,
+            args.output,
+            args.tolerance,
+            allow_machine_mismatch=args.allow_machine_mismatch,
+        )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

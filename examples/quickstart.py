@@ -13,7 +13,6 @@ from repro import (
     AnonymousMISAlgorithm,
     GranBundle,
     MISProblem,
-    TwoHopColoringAlgorithm,
     WellFormedInputDecider,
     cycle_graph,
     derandomize_pipeline,

@@ -121,7 +121,6 @@ class AnonymousMatchingAlgorithm(AnonymousAlgorithm):
     def _active_step(self, state: _State, received, bits: str, round_number: int) -> _State:
         # Partition the neighborhood by status.
         candidates = []  # tokens of neighbors I could still match with
-        blocked = False  # some neighbor is still potentially available
         for (status_u, token_u, proposal_u) in received:
             if status_u == ACTIVE:
                 candidates.append(token_u)

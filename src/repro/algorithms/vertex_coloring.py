@@ -11,7 +11,7 @@ prefix-permanence argument.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.algorithms.bitstrings import prefix_related
 from repro.runtime.algorithm import AnonymousAlgorithm

@@ -26,7 +26,6 @@ from repro.factor.factorizing_map import FactorizingMap
 from repro.factor.lifting import lift_assignment
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.coloring import is_k_hop_coloring
-from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.algorithm import AnonymousAlgorithm
 from repro.runtime.simulation import run_randomized, simulate_with_assignment
 

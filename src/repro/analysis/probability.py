@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.algorithm import AnonymousAlgorithm

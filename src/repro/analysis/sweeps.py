@@ -4,11 +4,19 @@ The benchmark suite reports its results as plain-text tables (this
 reproduction's analogue of the paper's figures); :func:`format_table`
 renders aligned columns and :func:`standard_families` yields the graph
 families every sweep covers.
+
+For the parallel experiment engine the same sweep is available as
+*specs*: :class:`FamilySpec` is a small picklable recipe (builder name
+plus arguments) that a worker process can realize locally with
+:meth:`FamilySpec.build`, so fan-out ships a few bytes per task instead
+of a pickled graph.  :func:`standard_families` is defined in terms of
+:func:`standard_family_specs`, keeping the two views of the sweep
+bit-identical by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.graphs.builders import (
@@ -33,6 +41,69 @@ class SweepRow:
     values: Dict[str, Any]
 
 
+_FAMILY_BUILDERS: Dict[str, Callable[..., LabeledGraph]] = {
+    "cycle": cycle_graph,
+    "path": path_graph,
+    "complete": complete_graph,
+    "star": star_graph,
+    "hypercube": hypercube_graph,
+    "torus": torus_graph,
+    "petersen": petersen_graph,
+    "random_connected": random_connected_graph,
+}
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """A picklable recipe for one sweep instance.
+
+    ``builder`` names an entry of the builder table (not a function
+    object, so the spec pickles by value and realizes identically in
+    any worker process); ``args`` are its positional arguments —
+    including the seed for randomized families, so realization is
+    deterministic everywhere.  ``size`` is the node count, used for
+    per-task seed derivation and scheduling.
+    """
+
+    name: str
+    builder: str
+    args: Tuple[Any, ...] = field(default=())
+    size: int = 0
+
+    def build(self) -> LabeledGraph:
+        """Realize the graph, with the uniform well-formed input layer."""
+        if self.builder not in _FAMILY_BUILDERS:
+            raise KeyError(
+                f"unknown family builder {self.builder!r}; "
+                f"known: {sorted(_FAMILY_BUILDERS)!r}"
+            )
+        return with_uniform_input(_FAMILY_BUILDERS[self.builder](*self.args))
+
+
+def standard_family_specs(
+    sizes: Sequence[int] = (4, 6, 8, 12),
+    include_random: bool = True,
+    seed: int = 7,
+) -> List[FamilySpec]:
+    """The standard sweep as picklable specs, in sweep order."""
+    specs: List[FamilySpec] = []
+    for n in sizes:
+        if n >= 3:
+            specs.append(FamilySpec(f"cycle-{n}", "cycle", (n,), n))
+        specs.append(FamilySpec(f"path-{n}", "path", (n,), n))
+        specs.append(FamilySpec(f"complete-{n}", "complete", (n,), n))
+        specs.append(FamilySpec(f"star-{n}", "star", (n - 1,), n))
+    specs.append(FamilySpec("hypercube-3", "hypercube", (3,), 8))
+    specs.append(FamilySpec("torus-3x3", "torus", (3, 3), 9))
+    specs.append(FamilySpec("petersen", "petersen", (), 10))
+    if include_random:
+        for n in sizes:
+            specs.append(
+                FamilySpec(f"random-{n}", "random_connected", (n, 0.3, seed + n), n)
+            )
+    return specs
+
+
 def standard_families(
     sizes: Sequence[int] = (4, 6, 8, 12),
     include_random: bool = True,
@@ -40,21 +111,8 @@ def standard_families(
 ) -> Iterator[Tuple[str, LabeledGraph]]:
     """Yield ``(name, graph)`` pairs covering the standard sweep families,
     each with a uniform well-formed input layer attached."""
-    for n in sizes:
-        if n >= 3:
-            yield f"cycle-{n}", with_uniform_input(cycle_graph(n))
-        yield f"path-{n}", with_uniform_input(path_graph(n))
-        yield f"complete-{n}", with_uniform_input(complete_graph(n))
-        yield f"star-{n}", with_uniform_input(star_graph(n - 1))
-    yield "hypercube-3", with_uniform_input(hypercube_graph(3))
-    yield "torus-3x3", with_uniform_input(torus_graph(3, 3))
-    yield "petersen", with_uniform_input(petersen_graph())
-    if include_random:
-        for n in sizes:
-            yield (
-                f"random-{n}",
-                with_uniform_input(random_connected_graph(n, 0.3, seed=seed + n)),
-            )
+    for spec in standard_family_specs(sizes, include_random, seed):
+        yield spec.name, spec.build()
 
 
 def format_table(

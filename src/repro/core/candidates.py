@@ -124,7 +124,7 @@ def enumerate_candidates(
                 examined += 1
                 if examined > budget:
                     raise CandidateError(
-                        f"candidate enumeration exceeded its budget of "
+                        "candidate enumeration exceeded its budget of "
                         f"{budget} at phase {phase} (k={k})"
                     )
                 candidate = _try_candidate(

@@ -19,7 +19,7 @@ both facts at runtime and raises if the input breaks them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from repro.exceptions import DerandomizationError
 from repro.factor.quotient import QuotientResult, finite_view_graph

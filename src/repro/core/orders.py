@@ -22,7 +22,6 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.exceptions import DerandomizationError
 from repro.graphs.encoding import encode_ordered_graph
 from repro.graphs.labeled_graph import LabeledGraph, Node
-from repro.views.local_views import all_views
 from repro.views.refinement import color_refinement
 
 
@@ -58,7 +57,7 @@ def assignment_sort_key(
     lengths = {len(assignment[v]) for v in node_order}
     if len(lengths) != 1:
         raise DerandomizationError(
-            f"assignment order is defined on uniform-length assignments, "
+            "assignment order is defined on uniform-length assignments, "
             f"got lengths {sorted(lengths)!r}"
         )
     return (lengths.pop(), tuple(assignment[v] for v in node_order))

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.exceptions import DerandomizationError, ViewError
 from repro.graphs.encoding import encode_ordered_graph
-from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.problem import DistributedProblem
 from repro.runtime.algorithm import AnonymousAlgorithm
 from repro.runtime.simulation import simulate_with_assignment

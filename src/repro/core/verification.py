@@ -25,9 +25,8 @@ on which case, so bundle authors can iterate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
 from repro.exceptions import ReproError
 from repro.factor.factorizing_map import FactorizingMap
 from repro.factor.lifting import verify_execution_lifting

@@ -5,19 +5,40 @@ Usage::
     python -m repro.experiments --list          # available experiment ids
     python -m repro.experiments figure2 norris  # run selected experiments
     python -m repro.experiments --all           # run everything
+    python -m repro.experiments --all --jobs 4  # ... on 4 worker processes
+    python -m repro.experiments --filter lemma  # ids containing "lemma"
+    python -m repro.experiments --all --json RESULTS_experiments.json
 
-Exits nonzero if any experiment's checks fail.
+Row and check output is bit-identical for every ``--jobs`` value (see
+``repro.experiments.runner``); ``--json`` additionally persists the run
+as a machine-readable artifact.  Exits nonzero if any experiment's
+checks fail.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import List, Optional
 
-from repro.experiments.base import all_experiment_ids, get_experiment, run_all
+from repro.experiments.base import all_experiment_ids
+from repro.experiments.runner import run_experiments, write_results_json
 
 
-def main(argv=None) -> int:
+def _select_ids(args: argparse.Namespace) -> Optional[List[str]]:
+    """The experiment ids a CLI invocation asks for, or None for 'help'."""
+    if args.experiments:
+        ids = list(args.experiments)
+    elif args.all or args.filter:
+        ids = all_experiment_ids()
+    else:
+        return None
+    if args.filter:
+        ids = [eid for eid in ids if args.filter in eid]
+    return ids
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description=(
@@ -32,6 +53,30 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(
+        "--filter",
+        metavar="SUBSTR",
+        help="restrict to experiment ids containing SUBSTR",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed mixed into every derived per-task seed (default 0)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the run as a machine-readable JSON artifact at PATH",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also write each experiment's table as DIR/<id>.csv",
@@ -39,17 +84,26 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for experiment_id in all_experiment_ids():
+        for experiment_id in _select_ids(args) or all_experiment_ids():
             print(experiment_id)
         return 0
 
-    if args.all:
-        results = run_all()
-    elif args.experiments:
-        results = [get_experiment(eid)() for eid in args.experiments]
-    else:
+    ids = _select_ids(args)
+    if ids is None:
         parser.print_help()
         return 2
+    if not ids:
+        print(f"no experiment ids match --filter {args.filter!r}", file=sys.stderr)
+        return 2
+
+    report = run_experiments(ids, jobs=args.jobs, base_seed=args.base_seed)
+    if report.fallback_reason:
+        print(
+            f"[runner] process pool unavailable ({report.fallback_reason}); "
+            "ran serially",
+            file=sys.stderr,
+        )
+    results = report.results()
 
     if args.csv:
         import pathlib
@@ -62,6 +116,10 @@ def main(argv=None) -> int:
             path = directory / f"{result.experiment_id}.csv"
             path.write_text(table_to_csv(result.columns, result.rows))
         print(f"wrote {len(results)} CSV tables to {directory}/")
+
+    if args.json:
+        target = write_results_json(args.json, report)
+        print(f"wrote JSON artifact to {target}")
 
     any_failed = False
     for result in results:

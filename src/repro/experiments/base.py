@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
@@ -65,16 +66,52 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
-_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registry entry: the experiment callable plus scheduling metadata.
+
+    ``cost`` is a relative wall-time weight (1.0 = a typical fast
+    experiment); the parallel runner dispatches expensive experiments
+    first so a straggler never lands last on an otherwise-drained pool.
+    ``accepts_seed`` records whether the callable takes a ``seed``
+    keyword; experiments that fix their seeds internally are simply
+    called with no arguments.
+    """
+
+    experiment_id: str
+    fn: Callable[..., ExperimentResult]
+    cost: float = 1.0
+    accepts_seed: bool = False
+
+    def run(self, seed: int | None = None) -> ExperimentResult:
+        if seed is not None and self.accepts_seed:
+            return self.fn(seed=seed)
+        return self.fn()
 
 
-def experiment(experiment_id: str):
-    """Decorator registering an experiment function under an id."""
+_REGISTRY: Dict[str, ExperimentSpec] = {}
 
-    def register(fn: Callable[[], ExperimentResult]):
+
+def experiment(experiment_id: str, *, cost: float = 1.0):
+    """Decorator registering an experiment function under an id.
+
+    ``cost`` is the relative wall-time weight used by the parallel
+    runner's longest-first scheduler (see ``repro.experiments.runner``).
+    """
+
+    def register(fn: Callable[..., ExperimentResult]):
         if experiment_id in _REGISTRY:
             raise ReproError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = fn
+        try:
+            accepts_seed = "seed" in inspect.signature(fn).parameters
+        except (TypeError, ValueError):
+            accepts_seed = False
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            fn=fn,
+            cost=cost,
+            accepts_seed=accepts_seed,
+        )
         fn.experiment_id = experiment_id  # type: ignore[attr-defined]
         return fn
 
@@ -85,7 +122,7 @@ def all_experiment_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+def get_spec(experiment_id: str) -> ExperimentSpec:
     try:
         return _REGISTRY[experiment_id]
     except KeyError:
@@ -94,6 +131,15 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
         ) from None
 
 
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    return get_spec(experiment_id).fn
+
+
+def all_specs() -> List[ExperimentSpec]:
+    """Every registered experiment spec, in id order."""
+    return [_REGISTRY[eid] for eid in all_experiment_ids()]
+
+
 def run_all() -> List[ExperimentResult]:
     """Run every registered experiment, in id order."""
-    return [_REGISTRY[eid]() for eid in all_experiment_ids()]
+    return [_REGISTRY[eid].fn() for eid in all_experiment_ids()]

@@ -6,7 +6,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.algorithms.luby_mis import AnonymousMISAlgorithm
 from repro.algorithms.monte_carlo_election import (
     MonteCarloElection,
     failure_probability_bound,
@@ -46,7 +45,7 @@ from repro.runtime.tape import FixedTape
 from repro.views.refinement import color_refinement
 
 
-@experiment("khop")
+@experiment("khop", cost=3.0)
 def khop_boundary() -> ExperimentResult:
     """Section 1.2: k-hop coloring is in GRAN iff k <= 2."""
     rows, checks = [], {}
@@ -78,7 +77,7 @@ def khop_boundary() -> ExperimentResult:
     )
 
 
-@experiment("impossibility")
+@experiment("impossibility", cost=1.0)
 def impossibility() -> ExperimentResult:
     """Angluin-style election impossibility via view collapse."""
     cases = [
@@ -119,7 +118,7 @@ def impossibility() -> ExperimentResult:
     )
 
 
-@experiment("election")
+@experiment("election", cost=8.0)
 def election_boundary() -> ExperimentResult:
     """Election succeeds exactly on prime colored instances; the
     Monte-Carlo variant trades correctness probability for feasibility."""
@@ -193,7 +192,7 @@ def election_boundary() -> ExperimentResult:
     )
 
 
-@experiment("fibrations")
+@experiment("fibrations", cost=1.5)
 def fibrations() -> ExperimentResult:
     """Section 4: directed representations and the fibration bridge."""
     rows, checks = [], {}
@@ -261,7 +260,7 @@ class _PortLedger(PortAwareAlgorithm):
         return state.ledger if state.round_number >= 3 else None
 
 
-@experiment("ports")
+@experiment("ports", cost=1.0)
 def port_emulation() -> ExperimentResult:
     """Section 1.3's remark: port numbers emulated via colors."""
     rows, checks = [], {}

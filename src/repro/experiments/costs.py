@@ -28,7 +28,7 @@ from repro.runtime.simulation import (
 SEEDS = range(5)
 
 
-@experiment("two-hop-cost")
+@experiment("two-hop-cost", cost=6.0)
 def two_hop_cost() -> ExperimentResult:
     """R1: rounds/bits of the generic randomized 2-hop coloring stage."""
     cases = [(f"cycle-{n}", with_uniform_input(cycle_graph(n))) for n in (4, 8, 16, 32)]
@@ -70,7 +70,7 @@ def two_hop_cost() -> ExperimentResult:
     )
 
 
-@experiment("mis-cost")
+@experiment("mis-cost", cost=6.0)
 def mis_cost() -> ExperimentResult:
     """R2: randomized MIS vs the deterministic greedy-by-color baseline."""
     problem = MISProblem()
@@ -112,7 +112,7 @@ def mis_cost() -> ExperimentResult:
     )
 
 
-@experiment("candidate-growth")
+@experiment("candidate-growth", cost=8.0)
 def candidate_growth() -> ExperimentResult:
     """The super-exponential heart of A_*: how many (graph, labeling)
     pairs candidate enumeration examines, and how few survive C2/C3,
@@ -178,7 +178,7 @@ def candidate_growth() -> ExperimentResult:
     )
 
 
-@experiment("success-curve")
+@experiment("success-curve", cost=5.0)
 def success_curve() -> ExperimentResult:
     """The probability a random length-t assignment succeeds — the single
     quantity behind every search cost in the derandomization."""
@@ -221,7 +221,7 @@ def success_curve() -> ExperimentResult:
     )
 
 
-@experiment("search-ablation")
+@experiment("search-ablation", cost=2.0)
 def search_ablation() -> ExperimentResult:
     """ABL: lexicographic vs PRG assignment-search order (trial counts)."""
     import repro.core.assignment_search as search_module

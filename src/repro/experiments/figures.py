@@ -14,7 +14,7 @@ from repro.problems.mis import MISProblem
 from repro.views.local_views import view, view_partition
 
 
-@experiment("figure1")
+@experiment("figure1", cost=0.5)
 def figure1() -> ExperimentResult:
     """Figure 1: the depth-3 local view of u0 in the 2-hop colored C6."""
     labels = {0: "c0", 1: "c1", 2: "c2", 3: "c0", 4: "c1", 5: "c2"}
@@ -47,7 +47,7 @@ def figure1() -> ExperimentResult:
     )
 
 
-@experiment("figure2")
+@experiment("figure2", cost=0.5)
 def figure2() -> ExperimentResult:
     """Figure 2: the labeled factor tower C3 ⪯_g C6 ⪯_f C12."""
 
@@ -83,7 +83,7 @@ def figure2() -> ExperimentResult:
     )
 
 
-@experiment("figure3")
+@experiment("figure3", cost=4.0)
 def figure3() -> ExperimentResult:
     """Figure 3: the faithful A_* on a lifted 2-hop colored cycle."""
     _base, lift, _proj = lifted_colored_c3(2)

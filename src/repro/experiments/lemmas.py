@@ -18,7 +18,7 @@ from repro.runtime.simulation import run_randomized
 from repro.views.local_views import all_views
 
 
-@experiment("lemma2")
+@experiment("lemma2", cost=1.5)
 def lemma2() -> ExperimentResult:
     """Lemma 2: G_infinity is a factor of every 2-hop colored G."""
     rows, checks = [], {}
@@ -46,7 +46,7 @@ def lemma2() -> ExperimentResult:
     )
 
 
-@experiment("lemma3")
+@experiment("lemma3", cost=6.0)
 def lemma3() -> ExperimentResult:
     """Lemma 3 + counterexample: prime factor unique iff 2-hop colored."""
     _base, lift, _proj = lifted_colored_c3(4)
@@ -86,7 +86,7 @@ def lemma3() -> ExperimentResult:
     )
 
 
-@experiment("lemma4")
+@experiment("lemma4", cost=0.5)
 def lemma4() -> ExperimentResult:
     """Lemma 4 / Corollary 1: views alias nodes in prime colored graphs."""
     base, _lift, _proj = lifted_colored_c3(1)
@@ -111,7 +111,7 @@ def lemma4() -> ExperimentResult:
     )
 
 
-@experiment("lifting")
+@experiment("lifting", cost=2.5)
 def lifting() -> ExperimentResult:
     """The lifting lemma: factor executions lift message-for-message."""
     algorithms = {

@@ -1,0 +1,405 @@
+"""The parallel experiment engine.
+
+Fans the experiment registry (and arbitrary :class:`FamilySpec` sweeps)
+out over a ``ProcessPoolExecutor`` while keeping every observable output
+**bit-identical to a serial run**:
+
+* **Deterministic per-task seeding** — each task's seed is derived from
+  ``(experiment_id, family, size, base_seed)`` by :func:`derive_seed`
+  (a SHA-256 hash, not Python's randomized ``hash``), so a task's
+  randomness never depends on which worker ran it or in what order.
+* **Deterministic assembly** — tasks are *dispatched* longest-first
+  (using the registry's relative ``cost`` weights) for load balance,
+  but results are *reported* in the caller's requested order.
+* **Per-worker cache warm-up** — every worker starts by running
+  ``repro.views.clear_caches()`` (which also fires all hooks installed
+  via ``register_cache_clearer``), so worker cache state is cold and
+  identical regardless of fork inheritance.
+* **Chunked scheduling** — tasks are shipped in chunks (the ``--jobs``
+  CLI knob maps to ``jobs`` here, ``chunk_size`` is derived from the
+  task count unless given) to amortize IPC per task.
+* **Graceful degradation** — if the pool cannot be created or breaks
+  mid-run (sandboxed interpreters, missing ``fork``/semaphores, a
+  killed worker), the engine transparently finishes the remaining
+  tasks serially and records the reason in the report.
+
+Each run can be persisted as a machine-readable JSON artifact
+(``RESULTS_experiments.json``) whose shape mirrors ``BENCH_views.json``:
+a schema version, machine/host metadata, engine metadata, and one row
+per experiment with its table, checks and timing.  The deterministic
+portion of the artifact (everything except machine/engine/timing) is
+exposed by :func:`canonical_results` — the serial-vs-parallel identity
+contract is that this portion is byte-equal for any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.sweeps import FamilySpec, SweepRow
+from repro.experiments.base import ExperimentResult, all_experiment_ids, get_spec
+
+__all__ = [
+    "ExperimentRun",
+    "FamilyOutcome",
+    "RunReport",
+    "canonical_results",
+    "derive_seed",
+    "map_families",
+    "results_payload",
+    "run_experiments",
+    "write_results_json",
+]
+
+RESULTS_SCHEMA = 1
+
+
+def derive_seed(
+    experiment_id: str, family: str = "", size: int = 0, base_seed: int = 0
+) -> int:
+    """A deterministic 63-bit seed for one task.
+
+    Derived by hashing the task's *identity* — never its position in
+    the schedule — so serial and parallel runs (and reruns of a single
+    task) see identical randomness.  SHA-256 is used instead of
+    ``hash()`` because the latter is salted per interpreter process.
+    """
+    key = f"{experiment_id}\x1f{family}\x1f{size}\x1f{base_seed}"
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's result plus runner bookkeeping."""
+
+    result: ExperimentResult
+    seed: int
+    wall_s: float
+    worker_pid: int
+    mode: str  # "serial" | "parallel"
+
+
+@dataclass
+class FamilyOutcome:
+    """One family-sweep task's value plus runner bookkeeping."""
+
+    family: str
+    size: int
+    seed: int
+    value: Any
+    wall_s: float
+    worker_pid: int
+    mode: str
+
+
+@dataclass
+class RunReport:
+    """Everything one engine invocation produced."""
+
+    runs: List[ExperimentRun]
+    requested_jobs: int
+    base_seed: int
+    fallback_reason: Optional[str] = None
+    wall_s: float = 0.0
+
+    @property
+    def mode(self) -> str:
+        if self.requested_jobs <= 1:
+            return "serial"
+        return "serial" if self.fallback_reason else "parallel"
+
+    @property
+    def all_passed(self) -> bool:
+        return all(run.result.passed for run in self.runs)
+
+    def results(self) -> List[ExperimentResult]:
+        return [run.result for run in self.runs]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side entry points.  These must stay top-level (picklable by
+# qualified name) and must not capture any parent-process state beyond
+# their arguments: under the ``spawn`` start method a worker re-imports
+# this module from scratch.
+# ---------------------------------------------------------------------------
+
+
+def _worker_init() -> None:
+    """Per-worker warm-up: reset every registered cache.
+
+    Uses the ``repro.views`` cache infrastructure — ``clear_caches()``
+    empties the intern/rank tables and fires every hook installed via
+    ``register_cache_clearer`` (builder registry, refinement memo, …).
+    Under ``fork`` a worker inherits whatever the parent had cached;
+    clearing makes worker state cold and identical across start
+    methods, schedules and job counts.
+    """
+    from repro.views import clear_caches
+
+    clear_caches()
+
+
+def _run_experiment_task(payload: Tuple[str, int]) -> Tuple[str, Any]:
+    """Run one registered experiment; returns ``(experiment_id, outcome)``."""
+    experiment_id, seed = payload
+    import repro.experiments  # noqa: F401  (registration on spawn)
+
+    start = time.perf_counter()
+    result = get_spec(experiment_id).run(seed=seed)
+    return experiment_id, (result, time.perf_counter() - start, os.getpid())
+
+
+def _run_family_task(
+    payload: Tuple[str, Callable[[str, Any, int], Any], FamilySpec, int],
+) -> Tuple[str, Any]:
+    """Realize one family spec and apply the task callable to it."""
+    name, task, spec, seed = payload
+    start = time.perf_counter()
+    value = task(spec.name, spec.build(), seed)
+    return name, (value, time.perf_counter() - start, os.getpid())
+
+
+# ---------------------------------------------------------------------------
+# The generic execution core shared by both fan-out entry points.
+# ---------------------------------------------------------------------------
+
+
+def _default_executor_factory(jobs: int):
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init)
+
+
+def _chunk_size(task_count: int, jobs: int) -> int:
+    """Default chunk: ~4 chunks per worker, so the longest-first order
+    still load-balances while IPC is amortized over each chunk."""
+    return max(1, task_count // (jobs * 4))
+
+
+def _execute(
+    payloads: Sequence[Tuple[Any, ...]],
+    worker: Callable[[Any], Tuple[str, Any]],
+    jobs: int,
+    chunk_size: Optional[int],
+    executor_factory: Optional[Callable[[int], Any]],
+) -> Tuple[Dict[str, Any], Dict[str, str], Optional[str]]:
+    """Run ``worker`` over ``payloads``; returns (outcomes, modes, reason).
+
+    ``payloads`` are dispatched in the given order; each payload's first
+    element is its key.  Any pool-level failure (creation, pickling,
+    broken pool) degrades to serial execution of whatever is missing —
+    a task that *itself* raises will raise again serially, so the
+    parallel path introduces no new failure modes.
+    """
+    outcomes: Dict[str, Any] = {}
+    modes: Dict[str, str] = {}
+    fallback_reason: Optional[str] = None
+
+    if jobs > 1 and len(payloads) > 1:
+        factory = executor_factory or _default_executor_factory
+        chunk = chunk_size if chunk_size else _chunk_size(len(payloads), jobs)
+        try:
+            with factory(jobs) as pool:
+                for key, outcome in pool.map(worker, payloads, chunksize=chunk):
+                    outcomes[key] = outcome
+                    modes[key] = "parallel"
+        except Exception as exc:  # degrade, never fail the run
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+
+    for payload in payloads:
+        if payload[0] in outcomes:
+            continue
+        key, outcome = worker(payload)
+        outcomes[key] = outcome
+        modes[key] = "serial"
+    return outcomes, modes, fallback_reason
+
+
+def run_experiments(
+    experiment_ids: Optional[Iterable[str]] = None,
+    *,
+    jobs: int = 1,
+    base_seed: int = 0,
+    chunk_size: Optional[int] = None,
+    executor_factory: Optional[Callable[[int], Any]] = None,
+) -> RunReport:
+    """Run experiments (all of them by default), possibly in parallel.
+
+    Results are reported in the requested order regardless of ``jobs``;
+    the rows and checks of every :class:`ExperimentResult` are
+    bit-identical for any job count.  ``executor_factory`` exists for
+    tests (inject a pool that fails or misbehaves).
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else all_experiment_ids()
+    specs = [get_spec(eid) for eid in ids]  # validates; raises on unknown ids
+    seeds = {eid: derive_seed(eid, base_seed=base_seed) for eid in ids}
+
+    dispatch = sorted(specs, key=lambda spec: (-spec.cost, spec.experiment_id))
+    payloads = [(spec.experiment_id, seeds[spec.experiment_id]) for spec in dispatch]
+
+    start = time.perf_counter()
+    outcomes, modes, fallback_reason = _execute(
+        payloads, _run_experiment_task, jobs, chunk_size, executor_factory
+    )
+    wall_s = time.perf_counter() - start
+
+    runs = []
+    for eid in ids:
+        result, task_wall, pid = outcomes[eid]
+        runs.append(
+            ExperimentRun(
+                result=result,
+                seed=seeds[eid],
+                wall_s=task_wall,
+                worker_pid=pid,
+                mode=modes[eid],
+            )
+        )
+    return RunReport(
+        runs=runs,
+        requested_jobs=jobs,
+        base_seed=base_seed,
+        fallback_reason=fallback_reason,
+        wall_s=wall_s,
+    )
+
+
+def map_families(
+    task: Callable[[str, Any, int], Any],
+    specs: Sequence[FamilySpec],
+    *,
+    jobs: int = 1,
+    base_seed: int = 0,
+    chunk_size: Optional[int] = None,
+    executor_factory: Optional[Callable[[int], Any]] = None,
+) -> List[FamilyOutcome]:
+    """Apply ``task(name, graph, seed)`` to every family spec.
+
+    ``task`` must be a picklable top-level callable.  Each task's seed
+    is ``derive_seed(task.__qualname__, family, size, base_seed)`` —
+    a pure function of the task identity — so outcomes are bit-identical
+    across job counts.  Graphs are realized inside the worker from the
+    spec (cheap to ship, deterministic to build).
+    """
+    task_name = getattr(task, "__qualname__", task.__class__.__qualname__)
+    seeds = [derive_seed(task_name, spec.name, spec.size, base_seed) for spec in specs]
+    order = sorted(range(len(specs)), key=lambda i: (-specs[i].size, specs[i].name))
+    payloads = [(f"{i}:{specs[i].name}", task, specs[i], seeds[i]) for i in order]
+
+    outcomes, modes, _reason = _execute(
+        payloads, _run_family_task, jobs, chunk_size, executor_factory
+    )
+    results = []
+    for i, spec in enumerate(specs):
+        key = f"{i}:{spec.name}"
+        value, task_wall, pid = outcomes[key]
+        results.append(
+            FamilyOutcome(
+                family=spec.name,
+                size=spec.size,
+                seed=seeds[i],
+                value=value,
+                wall_s=task_wall,
+                worker_pid=pid,
+                mode=modes[key],
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# JSON artifacts.
+# ---------------------------------------------------------------------------
+
+
+def _jsonify(value: Any) -> Any:
+    """Deterministic JSON-safe projection of a table cell."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _jsonify(val) for key, val in sorted(value.items())}
+    return repr(value)
+
+
+def _row_payload(row: SweepRow) -> Dict[str, Any]:
+    return {
+        "label": row.label,
+        "values": {key: _jsonify(val) for key, val in row.values.items()},
+    }
+
+
+def results_payload(report: RunReport) -> Dict[str, Any]:
+    """The full JSON artifact for a run (mirrors ``BENCH_views.json``)."""
+    return {
+        "schema": RESULTS_SCHEMA,
+        "suite": "experiments",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "engine": {
+            "requested_jobs": report.requested_jobs,
+            "mode": report.mode,
+            "base_seed": report.base_seed,
+            "fallback_reason": report.fallback_reason,
+            "wall_s": report.wall_s,
+        },
+        "results": [
+            {
+                "experiment_id": run.result.experiment_id,
+                "title": run.result.title,
+                "passed": run.result.passed,
+                "checks": dict(run.result.checks),
+                "columns": list(run.result.columns),
+                "rows": [_row_payload(row) for row in run.result.rows],
+                "seed": run.seed,
+                "timing": {
+                    "wall_s": run.wall_s,
+                    "worker_pid": run.worker_pid,
+                    "mode": run.mode,
+                },
+            }
+            for run in report.runs
+        ],
+    }
+
+
+def canonical_results(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The deterministic portion of an artifact: per-experiment rows and
+    checks with machine/engine/timing stripped.  Serial and parallel
+    runs of the same experiments must agree on this byte-for-byte."""
+    canonical = []
+    for entry in payload["results"]:
+        canonical.append({key: entry[key] for key in sorted(entry) if key != "timing"})
+    return canonical
+
+
+def write_results_json(path: "str | Path", report: RunReport) -> Path:
+    """Persist the run's artifact; returns the written path."""
+    target = Path(path)
+    target.write_text(json.dumps(results_payload(report), indent=2) + "\n")
+    return target

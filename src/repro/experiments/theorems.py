@@ -40,7 +40,7 @@ def _bundles():
     }
 
 
-@experiment("theorem1")
+@experiment("theorem1", cost=40.0)
 def theorem1() -> ExperimentResult:
     """Theorem 1 end to end: randomized 2-hop stage + deterministic stage,
     for every GRAN problem, across graph families.  Compact variant of
@@ -76,7 +76,7 @@ def theorem1() -> ExperimentResult:
     )
 
 
-@experiment("decoupling")
+@experiment("decoupling", cost=5.0)
 def decoupling_as_one_algorithm() -> ExperimentResult:
     """The headline sentence, recomposed: the randomized coloring stage
     and the deterministic stage fused into a SINGLE anonymous algorithm
@@ -118,7 +118,7 @@ def decoupling_as_one_algorithm() -> ExperimentResult:
     )
 
 
-@experiment("theorem2")
+@experiment("theorem2", cost=10.0)
 def theorem2() -> ExperimentResult:
     """Theorem 2: A_infinity on prime and lifted instances."""
     problem, algorithm = MISProblem(), AnonymousMISAlgorithm()
@@ -168,7 +168,7 @@ def theorem2() -> ExperimentResult:
     )
 
 
-@experiment("norris")
+@experiment("norris", cost=3.0)
 def norris() -> ExperimentResult:
     """Theorem 3 (Norris): view stabilization depth is at most n."""
     rows, checks = [], {}

@@ -16,7 +16,7 @@ case is a labeled isomorphism, and maps compose.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.exceptions import FactorError
 from repro.graphs.labeled_graph import LabeledGraph, Node, _sort_key

@@ -21,7 +21,7 @@ only defined for the 2-hop colored case.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.exceptions import FactorError
 from repro.graphs.labeled_graph import LabeledGraph, Node

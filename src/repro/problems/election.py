@@ -19,7 +19,7 @@ problem class is kept here to delimit the theorem:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.problem import DistributedProblem, OutputLabeling

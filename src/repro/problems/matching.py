@@ -13,7 +13,7 @@ if distinct pairs happen to pick colliding tokens.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.problems.problem import DistributedProblem, OutputLabeling

@@ -36,7 +36,7 @@ stage-1-labeled graph — the equivalence the tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional
 
 from repro.exceptions import RuntimeModelError
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -155,7 +155,7 @@ class TwoStageComposition(AnonymousAlgorithm):
                 rounds_seen = [round_number for (round_number, _p) in history]
                 if rounds_seen and min(rounds_seen) > wanted:
                     raise RuntimeModelError(
-                        f"synchronizer invariant violated: neighbor ran "
+                        "synchronizer invariant violated: neighbor ran "
                         f"{min(rounds_seen) - wanted} rounds ahead"
                     )
         if len(payloads) < state.degree:

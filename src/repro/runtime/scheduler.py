@@ -13,7 +13,7 @@ simulations induced by an assignment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional
 
 from repro.exceptions import OutputAlreadySetError, RuntimeModelError
 from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze

@@ -61,6 +61,21 @@ class TestRegistry:
         with pytest.raises(ReproError, match="unknown experiment"):
             get_experiment("nope")
 
+    def test_specs_carry_cost_metadata(self):
+        from repro.experiments import all_specs, get_spec
+
+        specs = all_specs()
+        assert {spec.experiment_id for spec in specs} == EXPECTED_IDS
+        assert all(spec.cost > 0 for spec in specs)
+        # The full-pipeline sweep is the heaviest experiment; its cost
+        # weight is what makes the runner dispatch it first.
+        assert get_spec("theorem1").cost == max(spec.cost for spec in specs)
+
+    def test_get_experiment_returns_the_spec_function(self):
+        from repro.experiments import get_spec
+
+        assert get_experiment("figure1") is get_spec("figure1").fn
+
 
 class TestResults:
     @pytest.mark.parametrize("experiment_id", FAST_IDS)

@@ -15,7 +15,6 @@ from repro.factor.lifting import (
     project_outputs,
     verify_execution_lifting,
 )
-from repro.factor.quotient import infinite_view_graph
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
 from repro.graphs.lifts import cyclic_lift, lift_graph

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.views.local_views import all_views, view_partition
 from repro.views.refinement import refinement_partition

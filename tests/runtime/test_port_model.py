@@ -5,7 +5,7 @@ the executable form of the paper's "port numbers can be emulated" remark.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Tuple
 
 import pytest
 

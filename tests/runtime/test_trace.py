@@ -8,7 +8,6 @@ from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
 from repro.exceptions import RuntimeModelError
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.runtime.simulation import run_randomized
-from repro.runtime.trace import ExecutionTrace, RoundRecord
 
 
 def _run():

@@ -7,7 +7,6 @@ import pytest
 from repro.exceptions import ViewError
 from repro.graphs.builders import cycle_graph, path_graph, star_graph
 from repro.views.local_views import all_views, view, view_partition
-from repro.views.view_tree import ViewTree
 
 
 def figure1_graph():
