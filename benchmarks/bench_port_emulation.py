@@ -13,9 +13,8 @@ from typing import Tuple
 from repro.analysis.sweeps import SweepRow, format_table
 from repro.graphs.builders import cycle_graph, path_graph, star_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
-from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation, PortScheduler
-from repro.runtime.scheduler import SynchronousScheduler
-from repro.runtime.tape import FixedTape
+from repro.runtime.engine import execute
+from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation
 
 
 def colored(graph):
@@ -74,16 +73,8 @@ def test_port_emulation_equivalence(report, benchmark):
         results = []
         for name, graph in cases:
             inner = PortLedger(rounds_needed=3)
-            native = PortScheduler(
-                inner,
-                _color_order_ports(graph),
-                {v: FixedTape("") for v in graph.nodes},
-            ).run(max_rounds=10)
-            emulated = SynchronousScheduler(
-                PortEmulation(inner),
-                graph,
-                {v: FixedTape("") for v in graph.nodes},
-            ).run(max_rounds=10)
+            native = execute(inner, _color_order_ports(graph), max_rounds=10)
+            emulated = execute(PortEmulation(inner), graph, max_rounds=10)
             results.append((name, native, emulated))
         return results
 
@@ -116,9 +107,7 @@ def test_emulation_round_benchmark(benchmark):
     inner = PortLedger(rounds_needed=5)
 
     def run():
-        return SynchronousScheduler(
-            PortEmulation(inner), graph, {v: FixedTape("") for v in graph.nodes}
-        ).run(max_rounds=10)
+        return execute(PortEmulation(inner), graph, max_rounds=10)
 
     result = benchmark(run)
     assert result.all_decided

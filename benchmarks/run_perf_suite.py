@@ -47,6 +47,9 @@ from repro.graphs.coloring import (  # noqa: E402
     greedy_two_hop_coloring,
 )
 from repro.factor.quotient import finite_view_graph  # noqa: E402
+from repro.algorithms import TwoHopColoringAlgorithm  # noqa: E402
+from repro.runtime.engine import collect_engine_metrics, execute  # noqa: E402
+from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation  # noqa: E402
 from repro.views.local_views import all_views, view_builder  # noqa: E402
 from repro.views.refinement import color_refinement  # noqa: E402
 from repro.views.view_tree import clear_caches, intern_stats  # noqa: E402
@@ -74,6 +77,91 @@ def _time(fn, repeats, cold):
         "median_s": statistics.median(samples),
         "repeats": repeats,
     }
+
+
+class _PortEcho(PortAwareAlgorithm):
+    """Fixed-length port workload: each node ledgers (round, port) pairs."""
+
+    bits_per_round = 0
+    name = "perf-port-echo"
+
+    def __init__(self, rounds_needed: int) -> None:
+        self.rounds_needed = rounds_needed
+
+    def init_state(self, input_label, degree: int):
+        return ((), 0)
+
+    def messages(self, state, degree: int):
+        return [(state[1], port) for port in range(degree)]
+
+    def transition(self, state, received, bits: str):
+        return (state[0] + (tuple(received),), state[1] + 1)
+
+    def output(self, state):
+        return state[0] if state[1] >= self.rounds_needed else None
+
+
+def run_runtime_benches(repeats: int) -> list:
+    """Unified-engine workloads, timed plus deterministic instrumentation.
+
+    The ``counts`` block (executions, rounds, messages sent, bits drawn,
+    nodes decided) is machine-independent: ``--check`` asserts it matches
+    the committed baseline exactly, so any behavioral drift in the round
+    kernel — an extra round, a changed message count, different bit
+    accounting — fails the perf-smoke gate even when timings are fine.
+    """
+    coloring_graph = with_uniform_input(cycle_graph(32))
+    port_graph = _colored(with_uniform_input(cycle_graph(16)))
+    workloads = [
+        (
+            "engine_broadcast_coloring",
+            32,
+            lambda: execute(
+                TwoHopColoringAlgorithm(),
+                coloring_graph,
+                seed=7,
+                require_decided=True,
+            ),
+        ),
+        (
+            "engine_port_emulation",
+            16,
+            lambda: execute(
+                PortEmulation(_PortEcho(rounds_needed=5)),
+                port_graph,
+                max_rounds=10,
+                require_decided=True,
+            ),
+        ),
+    ]
+    rows = []
+    for bench, n, thunk in workloads:
+        samples = []
+        counts = None
+        for _ in range(repeats):
+            with collect_engine_metrics() as totals:
+                start = time.perf_counter()
+                thunk()
+                samples.append(time.perf_counter() - start)
+            sample_counts = totals.as_dict(include_wall=False)
+            if counts is None:
+                counts = sample_counts
+            elif counts != sample_counts:
+                raise AssertionError(
+                    f"runtime bench {bench!r} is not deterministic: "
+                    f"{counts} vs {sample_counts}"
+                )
+        rows.append(
+            {
+                "bench": bench,
+                "n": n,
+                "best_s": min(samples),
+                "median_s": statistics.median(samples),
+                "repeats": repeats,
+                "counts": counts,
+            }
+        )
+    return rows
 
 
 def run_suite(quick: bool, repeats: int) -> dict:
@@ -135,7 +223,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
 
     clear_caches()
     return {
-        "schema": 1,
+        "schema": 2,
         "suite": "views-perf",
         "quick": quick,
         "machine": {
@@ -144,6 +232,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
             "implementation": platform.python_implementation(),
         },
         "results": rows,
+        "runtime": run_runtime_benches(repeats),
     }
 
 
@@ -152,6 +241,31 @@ def _guard_time(payload: dict):
         if row.get("bench") == GUARD_BENCH and row.get("n") == GUARD_N:
             return row["cold"]["best_s"]
     return None
+
+
+def _runtime_counts_drift(baseline: dict, current: dict) -> list:
+    """Per-bench diff of the engine's deterministic counts (empty = same).
+
+    A baseline without a ``runtime`` section (schema 1) produces no
+    drift: the counts gate only arms once a schema-2 baseline is
+    committed.
+    """
+    base_rows = {row["bench"]: row["counts"] for row in baseline.get("runtime", [])}
+    cur_rows = {row["bench"]: row["counts"] for row in current.get("runtime", [])}
+    drifts = []
+    for bench in sorted(base_rows):
+        if bench not in cur_rows:
+            drifts.append(f"  {bench}: missing from current run")
+            continue
+        for field in sorted(set(base_rows[bench]) | set(cur_rows[bench])):
+            base_value = base_rows[bench].get(field, "<missing>")
+            cur_value = cur_rows[bench].get(field, "<missing>")
+            if base_value != cur_value:
+                drifts.append(
+                    f"  {bench}.{field}: baseline={base_value!r} "
+                    f"vs current={cur_value!r}"
+                )
+    return drifts
 
 
 def _machine_mismatch(baseline: dict, current: dict) -> list:
@@ -205,6 +319,16 @@ def check_against_baseline(
     if ratio > tolerance:
         print("PERF REGRESSION: view construction slowed beyond tolerance")
         return 2
+    drift = _runtime_counts_drift(baseline, current)
+    if drift:
+        print("runtime engine counts drifted from the committed baseline:")
+        for line in drift:
+            print(line)
+        print(
+            "ENGINE BEHAVIOR CHANGE: rounds/messages/bits differ from the "
+            "baseline.  If intentional, re-record it (run without --check)."
+        )
+        return 2
     print("perf-smoke ok")
     return 0
 
@@ -215,6 +339,13 @@ def _print_table(payload: dict) -> None:
         cold = row["cold"]["best_s"] * 1e3
         warm = "" if row["warm"] is None else f"{row['warm']['best_s'] * 1e3:11.4f}ms"
         print(f"{row['bench']:<26}{row['n']:>5}{cold:11.4f}ms{warm:>14}")
+    for row in payload.get("runtime", []):
+        counts = row["counts"]
+        print(
+            f"{row['bench']:<26}{row['n']:>5}{row['best_s'] * 1e3:11.4f}ms"
+            f"    rounds={counts['rounds']} msgs={counts['messages_sent']} "
+            f"bits={counts['bits_drawn']}"
+        )
 
 
 def main(argv=None) -> int:

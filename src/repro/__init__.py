@@ -70,6 +70,7 @@ from repro.factor import (
 )
 from repro.runtime import (
     AnonymousAlgorithm,
+    execute,
     run_deterministic,
     run_randomized,
     simulate_with_assignment,
@@ -138,6 +139,7 @@ __all__ = [
     "is_prime",
     "prime_factors",
     "AnonymousAlgorithm",
+    "execute",
     "run_deterministic",
     "run_randomized",
     "simulate_with_assignment",

@@ -27,7 +27,7 @@ from repro.factor.lifting import lift_assignment
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.coloring import is_k_hop_coloring
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import run_randomized, simulate_with_assignment
+from repro.runtime.engine import execute
 
 
 @dataclass(frozen=True)
@@ -73,9 +73,9 @@ def lifted_khop_violation(
     """
     if algorithm is None:
         algorithm = TwoHopColoringAlgorithm()
-    factor_run = run_randomized(algorithm, covering.factor, seed=seed)
+    factor_run = execute(algorithm, covering.factor, seed=seed, require_decided=True)
     lifted = lift_assignment(factor_run.trace.assignment(), covering)
-    product_result = simulate_with_assignment(algorithm, covering.product, lifted)
+    product_result = execute(algorithm, covering.product, assignment=lifted)
     if not product_result.successful:
         raise AssertionError(
             "lifted simulation was unsuccessful; the lifting lemma is broken"

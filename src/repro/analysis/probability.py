@@ -18,7 +18,7 @@ from typing import List, Sequence, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import simulate_with_assignment
+from repro.runtime.engine import execute
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ def measure_success_curve(
                 v: "".join(str(rng.getrandbits(1)) for _ in range(t))
                 for v in graph.nodes
             }
-            if simulate_with_assignment(algorithm, graph, assignment).successful:
+            if execute(algorithm, graph, assignment=assignment).successful:
                 successes += 1
         points.append((t, successes / samples_per_length))
     return SuccessCurve(

@@ -34,7 +34,7 @@ from repro.exceptions import DerandomizationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.problems.problem import DistributedProblem, TwoHopColoredVariant
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import simulate_with_assignment
+from repro.runtime.engine import execute
 from repro.views.local_views import all_views
 from repro.views.view_tree import ViewTree
 from repro.core.assignment_search import smallest_successful_extension
@@ -179,8 +179,8 @@ class AStarSolver:
         # Update-Output -----------------------------------------------
         output: Optional[Any] = None
         diagnostics.simulations_run += 1
-        simulation = simulate_with_assignment(
-            self.algorithm, simulation_graph, recorded_bits
+        simulation = execute(
+            self.algorithm, simulation_graph, assignment=recorded_bits
         )
         if simulation.successful:
             output = simulation.outputs[anchor_class]

@@ -26,7 +26,7 @@ from typing import Dict, Iterator, Mapping, Optional, Sequence
 from repro.exceptions import DerandomizationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import simulate_with_assignment
+from repro.runtime.engine import execute
 
 Assignment = Dict[Node, str]
 
@@ -123,7 +123,7 @@ def smallest_successful_extension(
             exhausted = False
             break
         tried += 1
-        result = simulate_with_assignment(algorithm, graph, assignment)
+        result = execute(algorithm, graph, assignment=assignment)
         if result.successful:
             return assignment
     if not exhausted:
@@ -221,7 +221,7 @@ def _prg_assignment_search(
                     f"prg assignment search exceeded its budget of {budget} trials"
                 )
             tried += 1
-            if simulate_with_assignment(algorithm, graph, assignment).successful:
+            if execute(algorithm, graph, assignment=assignment).successful:
                 return assignment
         target_length *= 2
     raise DerandomizationError(

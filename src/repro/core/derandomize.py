@@ -25,7 +25,7 @@ from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
 from repro.graphs.coloring import apply_two_hop_coloring
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.problems.gran import GranBundle
-from repro.runtime.simulation import run_randomized
+from repro.runtime.engine import execute
 from repro.core.practical import PracticalDerandomizer, PracticalResult
 
 
@@ -67,8 +67,12 @@ def derandomize_pipeline(
         )
 
     # Stage 1: the generic randomized preprocessing.
-    coloring_run = run_randomized(
-        TwoHopColoringAlgorithm(), instance, seed=seed, max_rounds=max_rounds
+    coloring_run = execute(
+        TwoHopColoringAlgorithm(),
+        instance,
+        seed=seed,
+        max_rounds=max_rounds,
+        require_decided=True,
     )
     coloring = coloring_run.outputs
     colored = apply_two_hop_coloring(instance, coloring)

@@ -26,7 +26,7 @@ from repro.factor.quotient import QuotientResult, finite_view_graph
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.problems.problem import DistributedProblem
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import simulate_with_assignment
+from repro.runtime.engine import execute
 from repro.core.assignment_search import smallest_successful_assignment
 from repro.core.orders import canonical_node_order
 from repro.graphs.coloring import is_two_hop_coloring
@@ -131,8 +131,8 @@ class AInfinitySolver:
             budget=self.search_budget,
             strategy=self.strategy,
         )
-        simulation = simulate_with_assignment(
-            self.algorithm, simulation_graph, assignment
+        simulation = execute(
+            self.algorithm, simulation_graph, assignment=assignment
         )
         if not simulation.successful:
             raise DerandomizationError(

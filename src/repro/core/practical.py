@@ -31,7 +31,7 @@ from repro.graphs.encoding import encode_ordered_graph
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.problem import DistributedProblem
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import simulate_with_assignment
+from repro.runtime.engine import execute
 from repro.views.local_views import all_views
 from repro.views.view_tree import ViewTree
 from repro.core.assignment_search import smallest_successful_assignment
@@ -227,8 +227,8 @@ class PracticalDerandomizer:
             budget=self.search_budget,
             strategy=self.strategy,
         )
-        simulation = simulate_with_assignment(
-            self.algorithm, simulation_graph, assignment
+        simulation = execute(
+            self.algorithm, simulation_graph, assignment=assignment
         )
         outputs = {v: simulation.outputs[quotient.map(v)] for v in working.nodes}
         return PracticalResult(

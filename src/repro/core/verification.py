@@ -37,7 +37,7 @@ from repro.graphs.lifts import lift_graph
 from repro.problems.decision import decision_outputs_valid
 from repro.problems.gran import GranBundle
 from repro.runtime.algorithm import randomized_shell
-from repro.runtime.simulation import run_randomized, simulate_with_assignment
+from repro.runtime.engine import execute
 from repro.core.practical import PracticalDerandomizer
 
 
@@ -106,8 +106,12 @@ def check_gran_bundle(
         expected = bundle.problem.is_instance(graph)
         for seed in seeds:
             try:
-                result = run_randomized(
-                    bundle.decider, graph, seed=seed, max_rounds=max_rounds
+                result = execute(
+                    bundle.decider,
+                    graph,
+                    seed=seed,
+                    max_rounds=max_rounds,
+                    require_decided=True,
                 )
                 ok = decision_outputs_valid(expected, result.outputs)
                 detail = "" if ok else f"verdicts {result.outputs!r}"
@@ -139,7 +143,9 @@ def _check_instance(report, bundle, name, graph, seeds, lift_fiber, max_rounds):
     recorded = None
     for seed in seeds:
         try:
-            result = run_randomized(solver, graph, seed=seed, max_rounds=max_rounds)
+            result = execute(
+                solver, graph, seed=seed, max_rounds=max_rounds, require_decided=True
+            )
             valid = problem.is_valid_output(graph, result.outputs)
             report.outcomes.append(
                 CheckOutcome(
@@ -149,8 +155,8 @@ def _check_instance(report, bundle, name, graph, seeds, lift_fiber, max_rounds):
                     "" if valid else f"outputs {result.outputs!r}",
                 )
             )
-            replay = simulate_with_assignment(
-                solver, graph, result.trace.assignment()
+            replay = execute(
+                solver, graph, assignment=result.trace.assignment()
             )
             report.outcomes.append(
                 CheckOutcome(
@@ -167,7 +173,9 @@ def _check_instance(report, bundle, name, graph, seeds, lift_fiber, max_rounds):
 
     # Decider accepts instances.
     try:
-        result = run_randomized(decider, graph, seed=seeds[0], max_rounds=max_rounds)
+        result = execute(
+            decider, graph, seed=seeds[0], max_rounds=max_rounds, require_decided=True
+        )
         report.outcomes.append(
             CheckOutcome(
                 "decider-accepts",

@@ -38,10 +38,8 @@ from repro.graphs.builders import (
     with_uniform_input,
 )
 from repro.problems.election import LEADER, LeaderElectionProblem, MinimalViewElection
-from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation, PortScheduler
-from repro.runtime.scheduler import SynchronousScheduler
-from repro.runtime.simulation import run_deterministic, run_randomized
-from repro.runtime.tape import FixedTape
+from repro.runtime.engine import execute
+from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation
 from repro.views.refinement import color_refinement
 
 
@@ -147,7 +145,9 @@ def election_boundary() -> ExperimentResult:
 
     rows, checks = [], {}
     for name, instance in cases:
-        execution = run_deterministic(MinimalViewElection(), instance, max_rounds=200)
+        execution = execute(
+            MinimalViewElection(), instance, max_rounds=200, require_decided=True
+        )
         leaders = sum(1 for out in execution.outputs.values() if out == LEADER)
         valid = problem.is_valid_output(
             instance.with_only_layers(["input"]), execution.outputs
@@ -166,7 +166,12 @@ def election_boundary() -> ExperimentResult:
         failures = sum(
             not problem.is_valid_output(
                 graph,
-                run_randomized(MonteCarloElection(id_bits=id_bits), graph, seed=s).outputs,
+                execute(
+                    MonteCarloElection(id_bits=id_bits),
+                    graph,
+                    seed=s,
+                    require_decided=True,
+                ).outputs,
             )
             for s in range(trials)
         )
@@ -276,16 +281,14 @@ def port_emulation() -> ExperimentResult:
             c = graph.label_of(u, "color")
             return (type(c).__name__, repr(c))
 
-        native = PortScheduler(
+        native = execute(
             inner,
             graph.with_ports(
                 {v: sorted(graph.neighbors(v), key=key) for v in graph.nodes}
             ),
-            {v: FixedTape("") for v in graph.nodes},
-        ).run(max_rounds=10)
-        emulated = SynchronousScheduler(
-            PortEmulation(inner), graph, {v: FixedTape("") for v in graph.nodes}
-        ).run(max_rounds=10)
+            max_rounds=10,
+        )
+        emulated = execute(PortEmulation(inner), graph, max_rounds=10)
         checks[f"outputs equal ({name})"] = native.outputs == emulated.outputs
         checks[f"one-round overhead ({name})"] = emulated.rounds == native.rounds + 1
         rows.append(

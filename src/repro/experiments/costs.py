@@ -19,11 +19,7 @@ from repro.graphs.builders import (
 )
 from repro.graphs.coloring import is_two_hop_coloring
 from repro.problems.mis import MISProblem
-from repro.runtime.simulation import (
-    run_deterministic,
-    run_randomized,
-    simulate_with_assignment,
-)
+from repro.runtime.engine import execute
 
 SEEDS = range(5)
 
@@ -44,7 +40,7 @@ def two_hop_cost() -> ExperimentResult:
     for name, graph in cases:
         runs = []
         for seed in SEEDS:
-            result = run_randomized(algorithm, graph, seed=seed)
+            result = execute(algorithm, graph, seed=seed, require_decided=True)
             checks[f"valid {name} seed {seed}"] = is_two_hop_coloring(
                 graph, result.outputs
             )
@@ -82,13 +78,15 @@ def mis_cost() -> ExperimentResult:
     for name, graph in cases:
         runs, sizes = [], []
         for seed in SEEDS:
-            result = run_randomized(AnonymousMISAlgorithm(), graph, seed=seed)
+            result = execute(
+                AnonymousMISAlgorithm(), graph, seed=seed, require_decided=True
+            )
             checks[f"randomized valid {name} seed {seed}"] = problem.is_valid_output(
                 graph, result.outputs
             )
             runs.append(RunStats.of(graph, result, 1))
             sizes.append(sum(result.outputs.values()))
-        greedy = run_deterministic(GreedyMISByColor(), colored(graph))
+        greedy = execute(GreedyMISByColor(), colored(graph), require_decided=True)
         checks[f"greedy valid {name}"] = problem.is_valid_output(graph, greedy.outputs)
         agg = aggregate(runs)
         rows.append(
@@ -238,21 +236,21 @@ def search_ablation() -> ExperimentResult:
         trials = {}
         for strategy in ("lexicographic", "prg"):
             counter = {"n": 0}
-            original = search_module.simulate_with_assignment
+            original = search_module.execute
 
             def counting(*args, **kwargs):
                 counter["n"] += 1
                 return original(*args, **kwargs)
 
-            search_module.simulate_with_assignment = counting
+            search_module.execute = counting
             try:
                 assignment = smallest_successful_assignment(
                     algorithm, graph, order, max_length=64, strategy=strategy
                 )
             finally:
-                search_module.simulate_with_assignment = original
-            checks[f"{strategy} valid on {name}"] = simulate_with_assignment(
-                algorithm, graph, assignment
+                search_module.execute = original
+            checks[f"{strategy} valid on {name}"] = execute(
+                algorithm, graph, assignment=assignment
             ).successful
             trials[strategy] = counter["n"]
         rows.append(

@@ -14,7 +14,7 @@ from repro.factor.prime import is_prime, prime_factors
 from repro.factor.quotient import infinite_view_graph
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.isomorphism import are_isomorphic
-from repro.runtime.simulation import run_randomized
+from repro.runtime.engine import execute
 from repro.views.local_views import all_views
 
 
@@ -128,7 +128,7 @@ def lifting() -> ExperimentResult:
                 base.with_only_layers(["input"]),
                 projection,
             )
-            factor_run = run_randomized(algorithm, fm.factor, seed=17)
+            factor_run = execute(algorithm, fm.factor, seed=17, require_decided=True)
             comparison = verify_execution_lifting(
                 algorithm, fm, factor_run.trace.assignment()
             )

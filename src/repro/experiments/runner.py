@@ -54,6 +54,7 @@ from typing import (
 
 from repro.analysis.sweeps import FamilySpec, SweepRow
 from repro.experiments.base import ExperimentResult, all_experiment_ids, get_spec
+from repro.runtime.engine import collect_engine_metrics
 
 __all__ = [
     "ExperimentRun",
@@ -67,7 +68,7 @@ __all__ = [
     "write_results_json",
 ]
 
-RESULTS_SCHEMA = 1
+RESULTS_SCHEMA = 2
 
 
 def derive_seed(
@@ -87,13 +88,21 @@ def derive_seed(
 
 @dataclass
 class ExperimentRun:
-    """One experiment's result plus runner bookkeeping."""
+    """One experiment's result plus runner bookkeeping.
+
+    ``engine_metrics`` aggregates the unified execution engine's
+    instrumentation over every run the experiment performed (see
+    :func:`repro.runtime.engine.collect_engine_metrics`): executions,
+    rounds, messages sent, bits drawn, nodes decided, and engine wall
+    time.  All fields except ``wall_s`` are deterministic.
+    """
 
     result: ExperimentResult
     seed: int
     wall_s: float
     worker_pid: int
     mode: str  # "serial" | "parallel"
+    engine_metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -162,8 +171,10 @@ def _run_experiment_task(payload: Tuple[str, int]) -> Tuple[str, Any]:
     import repro.experiments  # noqa: F401  (registration on spawn)
 
     start = time.perf_counter()
-    result = get_spec(experiment_id).run(seed=seed)
-    return experiment_id, (result, time.perf_counter() - start, os.getpid())
+    with collect_engine_metrics() as totals:
+        result = get_spec(experiment_id).run(seed=seed)
+    wall = time.perf_counter() - start
+    return experiment_id, (result, wall, os.getpid(), totals.as_dict())
 
 
 def _run_family_task(
@@ -262,7 +273,7 @@ def run_experiments(
 
     runs = []
     for eid in ids:
-        result, task_wall, pid = outcomes[eid]
+        result, task_wall, pid, engine_metrics = outcomes[eid]
         runs.append(
             ExperimentRun(
                 result=result,
@@ -270,6 +281,7 @@ def run_experiments(
                 wall_s=task_wall,
                 worker_pid=pid,
                 mode=modes[eid],
+                engine_metrics=engine_metrics,
             )
         )
     return RunReport(
@@ -377,6 +389,7 @@ def results_payload(report: RunReport) -> Dict[str, Any]:
                 "columns": list(run.result.columns),
                 "rows": [_row_payload(row) for row in run.result.rows],
                 "seed": run.seed,
+                "metrics": run.engine_metrics,
                 "timing": {
                     "wall_s": run.wall_s,
                     "worker_pid": run.worker_pid,
@@ -390,11 +403,20 @@ def results_payload(report: RunReport) -> Dict[str, Any]:
 
 def canonical_results(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """The deterministic portion of an artifact: per-experiment rows and
-    checks with machine/engine/timing stripped.  Serial and parallel
-    runs of the same experiments must agree on this byte-for-byte."""
+    checks with machine/engine/timing/metrics stripped.  Serial and
+    parallel runs of the same experiments must agree on this
+    byte-for-byte.  The ``metrics`` block is excluded because its
+    ``wall_s`` field is a timing; its other fields are deterministic and
+    covered by the perf suite's runtime trend data instead."""
     canonical = []
     for entry in payload["results"]:
-        canonical.append({key: entry[key] for key in sorted(entry) if key != "timing"})
+        canonical.append(
+            {
+                key: entry[key]
+                for key in sorted(entry)
+                if key not in ("timing", "metrics")
+            }
+        )
     return canonical
 
 

@@ -84,7 +84,7 @@ def decoupling_as_one_algorithm() -> ExperimentResult:
     one Las-Vegas execution per instance."""
     from repro.algorithms.greedy_by_color import GreedyMISByColor
     from repro.runtime.composition import TwoStageComposition
-    from repro.runtime.simulation import run_randomized
+    from repro.runtime.engine import execute
 
     composed = TwoStageComposition(
         TwoHopColoringAlgorithm(),
@@ -94,7 +94,7 @@ def decoupling_as_one_algorithm() -> ExperimentResult:
     problem = MISProblem()
     rows, checks = [], {}
     for name, graph in standard_families(sizes=(4, 6, 8), include_random=True):
-        result = run_randomized(composed, graph, seed=3)
+        result = execute(composed, graph, seed=3, require_decided=True)
         checks[f"valid on {name}"] = problem.is_valid_output(graph, result.outputs)
         rows.append(
             SweepRow(

@@ -25,7 +25,7 @@ from repro.exceptions import SimulationError
 from repro.factor.factorizing_map import FactorizingMap
 from repro.graphs.labeled_graph import Node
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import SimulationResult, simulate_with_assignment
+from repro.runtime.engine import ExecutionResult, execute
 
 
 def lift_assignment(
@@ -77,8 +77,8 @@ def project_outputs(
 class LiftingComparison:
     """Round-by-round comparison of a factor execution and its lift."""
 
-    factor_result: SimulationResult
-    product_result: SimulationResult
+    factor_result: ExecutionResult
+    product_result: ExecutionResult
     outputs_match: bool
     messages_match: bool
 
@@ -98,12 +98,12 @@ def verify_execution_lifting(
     lift.  Returns a comparison recording whether every product node's
     per-round messages and final output equal those of its image.
     """
-    factor_result = simulate_with_assignment(
-        algorithm, factorizing_map.factor, factor_assignment, record_trace=True
+    factor_result = execute(
+        algorithm, factorizing_map.factor, assignment=factor_assignment, record_trace=True
     )
     product_assignment = lift_assignment(factor_assignment, factorizing_map)
-    product_result = simulate_with_assignment(
-        algorithm, factorizing_map.product, product_assignment, record_trace=True
+    product_result = execute(
+        algorithm, factorizing_map.product, assignment=product_assignment, record_trace=True
     )
 
     outputs_match = True

@@ -18,7 +18,7 @@ from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.decision import decision_outputs_valid
 from repro.problems.problem import DistributedProblem
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.simulation import run_randomized
+from repro.runtime.engine import execute
 
 
 @dataclass
@@ -43,7 +43,9 @@ class GranBundle:
                 f"{graph!r} is not an instance of {self.problem.name}"
             )
         for seed in seeds:
-            result = run_randomized(self.solver, graph, seed=seed, max_rounds=max_rounds)
+            result = execute(
+                self.solver, graph, seed=seed, max_rounds=max_rounds, require_decided=True
+            )
             if not self.problem.is_valid_output(graph, result.outputs):
                 raise ProblemError(
                     f"solver {self.solver.name} produced an invalid output for "
@@ -58,7 +60,9 @@ class GranBundle:
         ground-truth instance membership."""
         expected = self.problem.is_instance(graph)
         for seed in seeds:
-            result = run_randomized(self.decider, graph, seed=seed, max_rounds=max_rounds)
+            result = execute(
+                self.decider, graph, seed=seed, max_rounds=max_rounds, require_decided=True
+            )
             if not decision_outputs_valid(expected, result.outputs):
                 raise ProblemError(
                     f"decider {self.decider.name} mis-decided {self.problem.name} "

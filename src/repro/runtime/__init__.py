@@ -21,14 +21,28 @@ from repro.runtime.algorithm import (
     randomized_shell,
 )
 from repro.runtime.composition import TwoStageComposition
+from repro.runtime.engine import (
+    BroadcastDelivery,
+    DeliveryDiscipline,
+    EngineMetricsTotals,
+    ExecutionEngine,
+    ExecutionMetrics,
+    ExecutionPolicy,
+    ExecutionResult,
+    PortDelivery,
+    RoundHook,
+    collect_engine_metrics,
+    execute,
+)
 from repro.runtime.port_model import (
     PortAwareAlgorithm,
     PortEmulation,
     PortScheduler,
+    emulate_ports,
 )
 from repro.runtime.tape import BitSource, FixedTape, RandomTape, RecordingTape
 from repro.runtime.trace import ExecutionTrace, RoundRecord
-from repro.runtime.scheduler import ExecutionResult, SynchronousScheduler
+from repro.runtime.scheduler import SynchronousScheduler
 from repro.runtime.simulation import (
     SimulationResult,
     run_deterministic,
@@ -42,9 +56,20 @@ __all__ = [
     "FunctionAlgorithm",
     "RandomizedShell",
     "randomized_shell",
+    "BroadcastDelivery",
+    "DeliveryDiscipline",
+    "EngineMetricsTotals",
+    "ExecutionEngine",
+    "ExecutionMetrics",
+    "ExecutionPolicy",
+    "PortDelivery",
+    "RoundHook",
+    "collect_engine_metrics",
+    "execute",
     "PortAwareAlgorithm",
     "PortEmulation",
     "PortScheduler",
+    "emulate_ports",
     "TwoStageComposition",
     "BitSource",
     "FixedTape",

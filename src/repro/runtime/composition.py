@@ -31,6 +31,13 @@ broadcasting the stage-1 payload alongside stage-2 traffic.
 For a *deterministic* stage 2 the composed execution is
 message-for-message equivalent to running stage 2 directly on the
 stage-1-labeled graph — the equivalence the tests assert.
+
+A composition is an ordinary :class:`AnonymousAlgorithm`, so it runs
+unchanged through the unified kernel
+(:func:`repro.runtime.engine.execute` with
+:class:`~repro.runtime.engine.BroadcastDelivery`); the synchronizer's
+reliance on "each physical round delivers exactly one message per
+neighbor" is precisely the broadcast discipline's delivery guarantee.
 """
 
 from __future__ import annotations

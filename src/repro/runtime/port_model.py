@@ -8,7 +8,11 @@ emulated."*  This module makes both halves executable:
 
 * :class:`PortAwareAlgorithm` + :class:`PortScheduler` — a native
   port-numbering runtime: a node sends a (possibly different) message on
-  each port and receives messages indexed by port.
+  each port and receives messages indexed by port.  The scheduler is a
+  shim over the unified :class:`~repro.runtime.engine.ExecutionEngine`
+  with :class:`~repro.runtime.engine.PortDelivery`; prefer
+  :func:`repro.runtime.engine.execute`, which picks that discipline
+  automatically for port-aware algorithms.
 * :func:`emulate_ports` — an adapter compiling a port-aware algorithm
   into a broadcast :class:`~repro.runtime.algorithm.AnonymousAlgorithm`
   for 2-hop colored instances: virtual port ``i`` of a node is its
@@ -32,9 +36,14 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 from repro.exceptions import RuntimeModelError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.runtime.engine import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    ExecutionResult,
+    PortDelivery,
+    _trace_level,
+)
 from repro.runtime.tape import BitSource
-from repro.runtime.trace import ExecutionTrace, RoundRecord
-from repro.runtime.scheduler import ExecutionResult
 
 
 class PortAwareAlgorithm(ABC):
@@ -64,79 +73,37 @@ class PortAwareAlgorithm(ABC):
     def output(self, state: Any) -> Optional[Any]: ...
 
 
-class PortScheduler:
-    """Runs a :class:`PortAwareAlgorithm` natively on a graph's ports."""
+class PortScheduler(ExecutionEngine):
+    """Runs a :class:`PortAwareAlgorithm` natively on a graph's ports.
+
+    A shim over :class:`~repro.runtime.engine.ExecutionEngine` with
+    :class:`~repro.runtime.engine.PortDelivery`.  Sharing the kernel
+    gives the port model the same guarantees as the broadcast one: runs
+    stop *before* a round some node's tape cannot fund (instead of
+    raising mid-round with mutated state), output irrevocability raises
+    :class:`~repro.exceptions.OutputAlreadySetError` with round context
+    (including an output reverting to ``None``), and tracing can be
+    disabled via ``record_trace``.
+    """
 
     def __init__(
         self,
         algorithm: PortAwareAlgorithm,
         graph: LabeledGraph,
         tapes: Mapping[Node, BitSource],
+        record_trace: bool = True,
     ) -> None:
-        missing = [v for v in graph.nodes if v not in tapes]
-        if missing:
-            raise RuntimeModelError(f"no bit source for nodes {missing!r}")
-        self._algorithm = algorithm
-        self._graph = graph
-        self._tapes = dict(tapes)
-        self._states = {
-            v: algorithm.init_state(graph.label(v), graph.degree(v))
-            for v in graph.nodes
-        }
-        self._outputs: Dict[Node, Any] = {}
-        self._rounds = 0
-        self._trace = ExecutionTrace(algorithm.name)
-        self._note_outputs({})
-
-    def run(self, max_rounds: int) -> ExecutionResult:
-        graph, algorithm = self._graph, self._algorithm
-        while len(self._outputs) < graph.num_nodes and self._rounds < max_rounds:
-            outboxes = {
-                v: list(algorithm.messages(self._states[v], graph.degree(v)))
-                for v in graph.nodes
-            }
-            for v in graph.nodes:
-                if len(outboxes[v]) != graph.degree(v):
-                    raise RuntimeModelError(
-                        f"node {v!r} produced {len(outboxes[v])} messages for "
-                        f"{graph.degree(v)} ports"
-                    )
-            bits_drawn: Dict[Node, str] = {}
-            new_states = {}
-            for v in graph.nodes:
-                received = tuple(
-                    outboxes[u][graph.neighbor_to_port(u, v)]
-                    for u in graph.ports(v)
-                )
-                bits = self._tapes[v].draw(algorithm.bits_per_round)
-                bits_drawn[v] = bits
-                new_states[v] = algorithm.transition(self._states[v], received, bits)
-            self._states = new_states
-            self._rounds += 1
-            new_outputs = self._note_outputs(bits_drawn)
-            self._trace.rounds.append(
-                RoundRecord(self._rounds, dict(outboxes), bits_drawn, new_outputs)
-            )
-        return ExecutionResult(
-            outputs=dict(self._outputs),
-            rounds=self._rounds,
-            all_decided=len(self._outputs) == graph.num_nodes,
-            trace=self._trace,
+        super().__init__(
+            algorithm,
+            graph,
+            tapes,
+            delivery=PortDelivery(),
+            policy=ExecutionPolicy(trace=_trace_level(record_trace)),
         )
 
-    def _note_outputs(self, _bits: Dict[Node, str]) -> Dict[Node, Any]:
-        new_outputs: Dict[Node, Any] = {}
-        for v in self._graph.nodes:
-            value = self._algorithm.output(self._states[v])
-            if v in self._outputs:
-                if value != self._outputs[v]:
-                    raise RuntimeModelError(
-                        f"node {v!r} changed its irrevocable output"
-                    )
-            elif value is not None:
-                self._outputs[v] = value
-                new_outputs[v] = value
-        return new_outputs
+    def run(self, max_rounds: int) -> ExecutionResult:
+        """Run until all nodes decide, tapes run dry, or ``max_rounds``."""
+        return super().run(max_rounds=max_rounds)
 
 
 # ----------------------------------------------------------------------
@@ -235,3 +202,14 @@ class PortEmulation(AnonymousAlgorithm):
         if state.phase == "hello":
             return None
         return self.inner.output(state.inner)
+
+
+def emulate_ports(inner: PortAwareAlgorithm) -> PortEmulation:
+    """Compile a port-aware algorithm into its broadcast emulation.
+
+    The returned :class:`PortEmulation` runs on 2-hop colored instances
+    (labels ``(input_label, color)``) and pays exactly one extra "hello"
+    round — including one extra draw of ``bits_per_round`` bits per node,
+    discarded during the hello exchange.
+    """
+    return PortEmulation(inner)

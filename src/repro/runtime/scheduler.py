@@ -1,4 +1,4 @@
-"""The synchronous round scheduler.
+"""The synchronous broadcast scheduler — a thin shim over the engine.
 
 Each round: every node broadcasts ``message(state)``; messages are
 delivered as canonically sorted tuples (the anonymous multiset); every
@@ -8,57 +8,36 @@ it may never change — and stops when every node has an output, when a
 round limit is hit, or (for fixed tapes) just before a round some node's
 tape cannot fund, matching the paper's ``l = min length`` convention for
 simulations induced by an assignment.
+
+All of that behavior lives in :class:`~repro.runtime.engine.ExecutionEngine`;
+this class only fixes the delivery discipline to
+:class:`~repro.runtime.engine.BroadcastDelivery` and keeps the historical
+constructor signature.  New code should call
+:func:`repro.runtime.engine.execute` instead of constructing schedulers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Mapping
 
-from repro.exceptions import OutputAlreadySetError, RuntimeModelError
-from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
+from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.runtime.engine import (
+    BroadcastDelivery,
+    ExecutionEngine,
+    ExecutionPolicy,
+    ExecutionResult,
+    _message_sort_key,  # noqa: F401  (re-exported for backward compatibility)
+    _trace_level,
+)
 from repro.runtime.tape import BitSource
-from repro.runtime.trace import ExecutionTrace, RoundRecord
+
+__all__ = ["ExecutionResult", "SynchronousScheduler"]
 
 
-def _message_sort_key(message: Any) -> str:
-    return repr(_freeze(message))
-
-
-@dataclass
-class ExecutionResult:
-    """Outcome of running an algorithm on a graph.
-
-    Attributes
-    ----------
-    outputs:
-        Output per node; nodes that never decided are absent.
-    rounds:
-        Rounds actually executed.
-    all_decided:
-        Whether every node produced an output (a *successful* run).
-    trace:
-        Full per-round record (``None`` when tracing was disabled).
-    """
-
-    outputs: Dict[Node, Any]
-    rounds: int
-    all_decided: bool
-    trace: Optional[ExecutionTrace]
-
-    def output_labeling(self) -> Dict[Node, Any]:
-        """The output labeling ``o``; raises if some node is undecided."""
-        if not self.all_decided:
-            missing = self.rounds  # for the message only
-            raise RuntimeModelError(
-                f"execution did not decide every node within {missing} rounds"
-            )
-        return dict(self.outputs)
-
-
-class SynchronousScheduler:
-    """Runs one algorithm on one labeled graph with explicit bit sources."""
+class SynchronousScheduler(ExecutionEngine):
+    """Runs one broadcast algorithm on one labeled graph with explicit
+    bit sources.  A shim: everything happens in the shared kernel."""
 
     def __init__(
         self,
@@ -67,99 +46,14 @@ class SynchronousScheduler:
         tapes: Mapping[Node, BitSource],
         record_trace: bool = True,
     ) -> None:
-        missing = [v for v in graph.nodes if v not in tapes]
-        if missing:
-            raise RuntimeModelError(f"no bit source for nodes {missing!r}")
-        self._algorithm = algorithm
-        self._graph = graph
-        self._tapes = dict(tapes)
-        self._record_trace = record_trace
-        self._states: Dict[Node, Any] = {
-            v: algorithm.init_state(graph.label(v), graph.degree(v))
-            for v in graph.nodes
-        }
-        self._outputs: Dict[Node, Any] = {}
-        self._rounds = 0
-        self._trace = ExecutionTrace(algorithm.name) if record_trace else None
-        self._note_outputs({})  # outputs may be decided already at round 0
-
-    # ------------------------------------------------------------------
-
-    @property
-    def rounds(self) -> int:
-        return self._rounds
-
-    @property
-    def all_decided(self) -> bool:
-        return len(self._outputs) == self._graph.num_nodes
-
-    def state_of(self, node: Node) -> Any:
-        return self._states[node]
-
-    def can_fund_round(self) -> bool:
-        """Whether every node's tape can pay for one more round."""
-        need = self._algorithm.bits_per_round
-        return all(tape.remaining(need) for tape in self._tapes.values())
-
-    def step(self) -> None:
-        """Execute one synchronous round."""
-        if not self.can_fund_round():
-            raise RuntimeModelError(
-                "cannot step: some node's bit tape is exhausted"
-            )
-        graph = self._graph
-        algorithm = self._algorithm
-        sent = {v: algorithm.message(self._states[v]) for v in graph.nodes}
-        bits_drawn: Dict[Node, str] = {}
-        new_states: Dict[Node, Any] = {}
-        for v in graph.nodes:
-            received = tuple(
-                sorted((sent[u] for u in graph.neighbors(v)), key=_message_sort_key)
-            )
-            bits = self._tapes[v].draw(algorithm.bits_per_round)
-            bits_drawn[v] = bits
-            new_states[v] = algorithm.transition(self._states[v], received, bits)
-        self._states = new_states
-        self._rounds += 1
-        new_outputs = self._note_outputs(bits_drawn)
-        if self._trace is not None:
-            self._trace.rounds.append(
-                RoundRecord(
-                    round_number=self._rounds,
-                    sent=sent,
-                    bits=bits_drawn,
-                    new_outputs=new_outputs,
-                )
-            )
-
-    def _note_outputs(self, bits_drawn: Dict[Node, str]) -> Dict[Node, Any]:
-        new_outputs: Dict[Node, Any] = {}
-        for v in self._graph.nodes:
-            value = self._algorithm.output(self._states[v])
-            if v in self._outputs:
-                if value is None or value != self._outputs[v]:
-                    raise OutputAlreadySetError(
-                        f"node {v!r} changed its irrevocable output from "
-                        f"{self._outputs[v]!r} to {value!r} in round {self._rounds}"
-                    )
-            elif value is not None:
-                self._outputs[v] = value
-                new_outputs[v] = value
-        return new_outputs
+        super().__init__(
+            algorithm,
+            graph,
+            tapes,
+            delivery=BroadcastDelivery(),
+            policy=ExecutionPolicy(trace=_trace_level(record_trace)),
+        )
 
     def run(self, max_rounds: int) -> ExecutionResult:
         """Run until all nodes decide, tapes run dry, or ``max_rounds``."""
-        if max_rounds < 0:
-            raise RuntimeModelError(f"max_rounds must be nonnegative, got {max_rounds}")
-        while (
-            not self.all_decided
-            and self._rounds < max_rounds
-            and self.can_fund_round()
-        ):
-            self.step()
-        return ExecutionResult(
-            outputs=dict(self._outputs),
-            rounds=self._rounds,
-            all_decided=self.all_decided,
-            trace=self._trace,
-        )
+        return super().run(max_rounds=max_rounds)

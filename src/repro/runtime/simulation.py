@@ -9,6 +9,11 @@ when every node produces an output within those rounds.
 ``run_randomized(A, G, seed)`` runs a genuine randomized execution from
 a seeded source while recording the bits drawn, so the execution can be
 replayed (``result.trace.assignment()``) or lifted to a product graph.
+
+All three runners are thin wrappers over
+:func:`repro.runtime.engine.execute` — the one high-level entry point of
+the unified kernel — kept for their narrower signatures and the
+:class:`SimulationResult` vocabulary of the assignment-based machinery.
 """
 
 from __future__ import annotations
@@ -19,8 +24,7 @@ from typing import Any, Dict, Mapping, Optional
 from repro.exceptions import SimulationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.scheduler import ExecutionResult, SynchronousScheduler
-from repro.runtime.tape import FixedTape, RandomTape, RecordingTape
+from repro.runtime.engine import ExecutionResult, execute
 from repro.runtime.trace import ExecutionTrace
 
 Assignment = Mapping[Node, str]
@@ -52,21 +56,9 @@ def simulate_with_assignment(
     record_trace: bool = False,
 ) -> SimulationResult:
     """The simulation of ``algorithm`` on ``graph`` induced by ``assignment``."""
-    missing = [v for v in graph.nodes if v not in assignment]
-    if missing:
-        raise SimulationError(f"assignment does not cover nodes {missing!r}")
-    if algorithm.bits_per_round == 0:
-        raise SimulationError(
-            "simulations induced by an assignment require a randomized "
-            "algorithm (bits_per_round >= 1); deterministic algorithms "
-            "should be run via SynchronousScheduler directly"
-        )
-    tapes = {v: FixedTape(assignment[v]) for v in graph.nodes}
-    rounds_funded = min(
-        len(assignment[v]) // algorithm.bits_per_round for v in graph.nodes
+    result = execute(
+        algorithm, graph, assignment=assignment, record_trace=record_trace
     )
-    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
-    result = scheduler.run(max_rounds=rounds_funded)
     return SimulationResult(
         outputs=result.outputs,
         rounds=result.rounds,
@@ -79,7 +71,7 @@ def simulation_is_successful(
     algorithm: AnonymousAlgorithm, graph: LabeledGraph, assignment: Assignment
 ) -> bool:
     """Whether the simulation induced by ``assignment`` is successful."""
-    return simulate_with_assignment(algorithm, graph, assignment).successful
+    return execute(algorithm, graph, assignment=assignment).all_decided
 
 
 def run_randomized(
@@ -96,18 +88,14 @@ def run_randomized(
     Las-Vegas algorithms terminate with probability 1, so hitting the
     limit on reasonable inputs indicates a bug or an adversarial case.
     """
-    tapes = {
-        v: RecordingTape(RandomTape(seed * 1_000_003 + index))
-        for index, v in enumerate(graph.nodes)
-    }
-    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
-    result = scheduler.run(max_rounds=max_rounds)
-    if not result.all_decided:
-        raise SimulationError(
-            f"{algorithm.name} did not terminate within {max_rounds} rounds "
-            f"on {graph!r} with seed {seed}"
-        )
-    return result
+    return execute(
+        algorithm,
+        graph,
+        seed=seed,
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        require_decided=True,
+    )
 
 
 def run_deterministic(
@@ -122,11 +110,10 @@ def run_deterministic(
             f"{algorithm.name} is randomized; use run_randomized or "
             "simulate_with_assignment"
         )
-    tapes = {v: FixedTape("") for v in graph.nodes}
-    scheduler = SynchronousScheduler(algorithm, graph, tapes, record_trace=record_trace)
-    result = scheduler.run(max_rounds=max_rounds)
-    if not result.all_decided:
-        raise SimulationError(
-            f"{algorithm.name} did not terminate within {max_rounds} rounds on {graph!r}"
-        )
-    return result
+    return execute(
+        algorithm,
+        graph,
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        require_decided=True,
+    )

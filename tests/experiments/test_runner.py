@@ -26,8 +26,9 @@ from repro.experiments.runner import (
 )
 
 # Cheap experiments only: the identity contract is about scheduling, not
-# about how long each task runs.
-SUBSET = ["figure1", "figure2", "lemma4", "impossibility"]
+# about how long each task runs.  "ports" is included because it runs the
+# unified execution engine, so the per-experiment metrics block is non-empty.
+SUBSET = ["figure1", "figure2", "lemma4", "ports"]
 BASE_SEED = 11
 
 
@@ -190,7 +191,7 @@ class TestMapFamilies:
 class TestJsonArtifact:
     def test_payload_shape_mirrors_bench_views(self, parallel_report):
         payload = results_payload(parallel_report)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["suite"] == "experiments"
         assert set(payload["machine"]) == {"platform", "python", "implementation"}
         engine = payload["engine"]
@@ -208,27 +209,57 @@ class TestJsonArtifact:
             "columns",
             "rows",
             "seed",
+            "metrics",
             "timing",
         }
         assert set(entry["timing"]) == {"wall_s", "worker_pid", "mode"}
+        assert set(entry["metrics"]) == {
+            "executions",
+            "rounds",
+            "messages_sent",
+            "bits_drawn",
+            "nodes_decided",
+            "wall_s",
+        }
+        # View-layer experiments never touch the engine (executions == 0);
+        # at least one experiment in the subset must run it.
+        assert all(
+            v >= 0 for v in entry["metrics"].values()
+        )
+        assert any(
+            e["metrics"]["executions"] > 0 for e in payload["results"]
+        )
 
     def test_payload_is_json_serializable(self, parallel_report):
         text = json.dumps(results_payload(parallel_report))
         assert json.loads(text)["suite"] == "experiments"
 
-    def test_canonical_results_strips_timing_only(self, serial_report):
+    def test_canonical_results_strips_timing_and_metrics(self, serial_report):
         payload = results_payload(serial_report)
         canonical = canonical_results(payload)
         assert len(canonical) == len(SUBSET)
         for entry in canonical:
             assert "timing" not in entry
+            assert "metrics" not in entry
             assert "rows" in entry and "checks" in entry and "seed" in entry
+
+    def test_metrics_deterministic_across_job_counts(
+        self, serial_report, parallel_report
+    ):
+        # Everything but engine wall time is a deterministic count.
+        def stable(report):
+            return [
+                {k: v for k, v in run.engine_metrics.items() if k != "wall_s"}
+                for run in report.runs
+            ]
+
+        assert stable(serial_report) == stable(parallel_report)
 
     def test_write_results_json(self, tmp_path, serial_report):
         target = write_results_json(tmp_path / "out.json", serial_report)
         assert target.exists()
         payload = json.loads(target.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert [e["experiment_id"] for e in payload["results"]] == SUBSET
 
 

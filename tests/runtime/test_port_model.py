@@ -12,6 +12,7 @@ import pytest
 from repro.exceptions import RuntimeModelError
 from repro.graphs.builders import cycle_graph, path_graph, star_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.runtime.engine import execute
 from repro.runtime.port_model import (
     PortAwareAlgorithm,
     PortEmulation,
@@ -112,6 +113,89 @@ class TestPortScheduler:
             scheduler.run(max_rounds=2)
 
 
+class RandomizedPortEcho(PortAwareAlgorithm):
+    """Port-sensitive *and* bit-sensitive: each round every node sends
+    its accumulated bitstring tagged with the port index, appends the
+    received (port, payload) pairs and its freshly drawn bit, and after
+    ``rounds_needed`` rounds outputs the whole history.  Any mix-up of
+    port attribution or of bit accounting changes the output."""
+
+    bits_per_round = 1
+    name = "randomized-port-echo"
+
+    def __init__(self, rounds_needed: int = 3) -> None:
+        self.rounds_needed = rounds_needed
+
+    def init_state(self, input_label, degree: int):
+        return _TokenState(
+            token="",  # accumulated bits
+            collected=(),
+            round_number=0,
+            rounds_needed=self.rounds_needed,
+        )
+
+    def messages(self, state: _TokenState, degree: int):
+        return [(state.token, port) for port in range(degree)]
+
+    def transition(self, state: _TokenState, received, bits: str):
+        entry = tuple((port, payload) for port, payload in enumerate(received))
+        return replace(
+            state,
+            token=state.token + bits,
+            collected=state.collected + (entry,),
+            round_number=state.round_number + 1,
+        )
+
+    def output(self, state: _TokenState):
+        if state.round_number >= state.rounds_needed:
+            return (state.collected, state.token)
+        return None
+
+
+class TestPortFunding:
+    """Regression for the pre-unification PortScheduler, which skipped
+    the tape-funding check: a dry tape raised mid-round from ``draw``
+    after some nodes had already transitioned, leaving torn state.  The
+    unified kernel stops *before* any round it cannot fund — the paper's
+    ``l = min length`` convention (Section 2.2) — in both disciplines."""
+
+    def test_run_stops_before_unfunded_round(self):
+        g = with_uniform_input(path_graph(3))
+        # Node 1 funds only 2 rounds; the run must stop at exactly 2.
+        tapes = {0: FixedTape("0000"), 1: FixedTape("00"), 2: FixedTape("000")}
+        scheduler = PortScheduler(RandomizedPortEcho(rounds_needed=10), g, tapes)
+        result = scheduler.run(max_rounds=100)
+        assert result.rounds == 2
+        assert not result.all_decided
+        # No torn round: every node took exactly 2 transitions.
+        for v in g.nodes:
+            assert scheduler.state_of(v).round_number == 2
+
+    def test_step_past_funding_raises_without_mutation(self):
+        g = with_uniform_input(path_graph(2))
+        scheduler = PortScheduler(
+            RandomizedPortEcho(rounds_needed=10),
+            g,
+            {v: FixedTape("0") for v in g.nodes},
+        )
+        scheduler.step()
+        with pytest.raises(RuntimeModelError, match="exhausted"):
+            scheduler.step()
+        assert scheduler.rounds == 1
+        assert all(scheduler.state_of(v).round_number == 1 for v in g.nodes)
+
+    def test_record_trace_flag(self):
+        g = with_uniform_input(path_graph(2))
+        result = PortScheduler(
+            PortTokenSum(1),
+            g,
+            {v: FixedTape("") for v in g.nodes},
+            record_trace=False,
+        ).run(max_rounds=5)
+        assert result.all_decided
+        assert result.trace is None
+
+
 class TestEmulation:
     @pytest.mark.parametrize(
         "graph",
@@ -147,6 +231,63 @@ class TestEmulation:
         assert native.outputs == emulated.outputs
         # Emulation pays exactly one extra (hello) round.
         assert emulated.rounds == native.rounds + 1
+
+    def test_randomized_emulation_matches_native_with_bit_accounting(self):
+        """The paper's remark for *randomized* port-aware algorithms: the
+        emulation is output-identical provided each node's tape funds the
+        extra hello round, whose ``bits_per_round`` draw is discarded.
+        Feeding the emulated run each native tape prefixed with one junk
+        bit must reproduce the native outputs exactly — and the engine's
+        bit accounting must show precisely one extra draw per node."""
+        graph = colored(with_uniform_input(cycle_graph(5)))
+        reported = color_order_ports(graph)
+        native_graph = reported.with_only_layers(["input"]).with_ports(
+            {v: reported.ports(v) for v in reported.nodes}
+        )
+        inner = RandomizedPortEcho(rounds_needed=3)
+        bits = {v: format(v, "03b") for v in graph.nodes}  # distinct tapes
+
+        native = execute(
+            inner,
+            native_graph,
+            tapes={v: FixedTape(bits[v]) for v in graph.nodes},
+            max_rounds=10,
+        )
+        emulated = execute(
+            PortEmulation(inner),
+            graph,
+            tapes={v: FixedTape("1" + bits[v]) for v in graph.nodes},
+            max_rounds=10,
+        )
+
+        assert native.all_decided and emulated.all_decided
+        assert native.outputs == emulated.outputs
+        assert emulated.rounds == native.rounds + 1
+        # Each output carries the bits its node consumed: exactly its
+        # native tape — the hello-round prefix bit never reaches the
+        # inner algorithm.
+        for v, (collected, consumed) in native.outputs.items():
+            assert consumed == bits[v]
+        # Engine accounting: the hello round costs one extra draw of
+        # bits_per_round bits per node, and nothing else.
+        n = graph.num_nodes
+        assert native.metrics.bits_drawn == 3 * n
+        assert emulated.metrics.bits_drawn == native.metrics.bits_drawn + n
+
+    def test_randomized_emulation_stops_when_hello_round_is_unfunded(self):
+        """Without the prefix bit the emulated tapes fund one round fewer
+        than the inner algorithm needs — the run must stop cleanly short
+        instead of raising mid-round."""
+        graph = colored(with_uniform_input(cycle_graph(5)))
+        inner = RandomizedPortEcho(rounds_needed=3)
+        result = execute(
+            PortEmulation(inner),
+            graph,
+            tapes={v: FixedTape(format(v, "03b")) for v in graph.nodes},
+            max_rounds=10,
+        )
+        assert result.rounds == 3  # hello + only 2 steady rounds funded
+        assert not result.all_decided
 
     def test_emulation_requires_distinct_neighbor_colors(self):
         g = with_uniform_input(star_graph(2)).with_layer(
