@@ -11,7 +11,7 @@ FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
 # (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
 PERF_SMOKE_FLAGS ?=
 
-.PHONY: test bench perf perf-smoke lint typecheck experiments ci
+.PHONY: test bench perf perf-smoke faults-smoke lint typecheck experiments ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -24,6 +24,9 @@ perf:  ## rewrite the BENCH_views.json perf baseline
 
 perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs baseline
 	$(PYTHON) benchmarks/run_perf_suite.py --quick --check $(PERF_SMOKE_FLAGS)
+
+faults-smoke:  ## zero-fault differential gate (see docs/FAULTS.md)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.faults.gate
 
 lint:  ## ruff: lint everything, format-check the migrated files
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
@@ -44,4 +47,4 @@ experiments:  ## run every experiment in parallel, writing the JSON artifact
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments --all --jobs 4 \
 		--json RESULTS_experiments.json
 
-ci: lint typecheck test perf-smoke  ## exactly what .github/workflows/ci.yml runs
+ci: lint typecheck test faults-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

@@ -1,0 +1,115 @@
+"""Experiment FAULTS — deterministic fault injection (docs/FAULTS.md).
+
+Benchmarks the fault subsystem's two contracts: an *empty* plan is a
+transparent wrapper (byte-identical outputs at negligible overhead),
+and a *nonzero* plan is a pure value (the same plan replays the same
+faulted run, event for event).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import SweepRow, format_table
+from repro.faults import FaultPlan, execute_with_faults
+from repro.graphs.builders import cycle_graph, path_graph, with_uniform_input
+from repro.algorithms import TwoHopColoringAlgorithm
+from repro.runtime.engine import execute
+
+PLAN = FaultPlan(plan_seed=41, drop_rate=0.1, duplicate_rate=0.05, crashes=((0, 3),))
+
+
+def test_zero_fault_transparency(report, benchmark):
+    cases = [
+        ("cycle-8", with_uniform_input(cycle_graph(8))),
+        ("path-8", with_uniform_input(path_graph(8))),
+    ]
+
+    def run():
+        results = []
+        for name, graph in cases:
+            bare = execute(TwoHopColoringAlgorithm(), graph, seed=7)
+            wrapped = execute_with_faults(
+                TwoHopColoringAlgorithm(), graph, FaultPlan(), seed=7
+            )
+            results.append((name, bare, wrapped))
+        return results
+
+    rows = []
+    for name, bare, wrapped in benchmark.pedantic(run, rounds=1):
+        assert bare.outputs == wrapped.result.outputs
+        assert wrapped.faults_injected == 0
+        rows.append(
+            SweepRow(
+                name,
+                {
+                    "bare rounds": bare.rounds,
+                    "wrapped rounds": wrapped.result.rounds,
+                    "faults": wrapped.faults_injected,
+                    "outputs equal": bare.outputs == wrapped.result.outputs,
+                },
+            )
+        )
+    report(
+        format_table(
+            "FAULTS — empty plan is transparent "
+            "(identical outputs, zero injected events)",
+            ["bare rounds", "wrapped rounds", "faults", "outputs equal"],
+            rows,
+        )
+    )
+
+
+def test_faulty_replay_determinism(report, benchmark):
+    graph = with_uniform_input(cycle_graph(8))
+
+    def run():
+        return execute_with_faults(
+            _tolerant(), graph, PLAN, max_rounds=6, require_decided=True
+        )
+
+    first = benchmark(run)
+    second = run()
+    assert first.result.outputs == second.result.outputs
+    assert first.fault_counts() == second.fault_counts()
+    assert first.faults_injected == second.faults_injected > 0
+    counts = dict(first.fault_counts())
+    report(
+        format_table(
+            "FAULTS — a fixed nonzero plan replays byte-identically",
+            ["faults", "drops", "duplicates", "crashes", "replay equal"],
+            [
+                SweepRow(
+                    "cycle-8",
+                    {
+                        "faults": first.faults_injected,
+                        "drops": counts.get("drop", 0),
+                        "duplicates": counts.get("duplicate", 0),
+                        "crashes": counts.get("crash", 0),
+                        "replay equal": True,
+                    },
+                )
+            ],
+        )
+    )
+
+
+def _tolerant():
+    """A drop/duplicate/crash-tolerant broadcast workload."""
+    from repro.runtime.algorithm import AnonymousAlgorithm
+
+    class Tally(AnonymousAlgorithm):
+        bits_per_round = 0
+        name = "bench-fault-tally"
+
+        def init_state(self, input_label, degree: int):
+            return ((), 0)
+
+        def message(self, state):
+            return state[1]
+
+        def transition(self, state, received, bits: str):
+            return (state[0] + (len(received),), state[1] + 1)
+
+        def output(self, state):
+            return state[0] if state[1] >= 6 else None
+
+    return Tally()

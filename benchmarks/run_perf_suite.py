@@ -30,6 +30,7 @@ import argparse
 import json
 import platform
 import statistics
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -48,6 +49,8 @@ from repro.graphs.coloring import (  # noqa: E402
 )
 from repro.factor.quotient import finite_view_graph  # noqa: E402
 from repro.algorithms import TwoHopColoringAlgorithm  # noqa: E402
+from repro.faults import FaultPlan, execute_with_faults  # noqa: E402
+from repro.runtime.algorithm import AnonymousAlgorithm  # noqa: E402
 from repro.runtime.engine import collect_engine_metrics, execute  # noqa: E402
 from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation  # noqa: E402
 from repro.views.local_views import all_views, view_builder  # noqa: E402
@@ -62,6 +65,30 @@ DEFAULT_TOLERANCE = 2.0
 
 def _colored(graph):
     return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def _git_info() -> dict:
+    """The repo's HEAD commit and date, or ``"unknown"`` outside git."""
+    info = {}
+    for field, fmt in (("commit", "%h"), ("date", "%cs")):
+        try:
+            info[field] = subprocess.run(
+                ["git", "-C", str(REPO_ROOT), "log", "-1", f"--format={fmt}"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+        except Exception:
+            info[field] = "unknown"
+    return info
+
+
+def _baseline_provenance(baseline: dict) -> str:
+    git = baseline.get("git", {})
+    commit = git.get("commit", "unknown")
+    date = git.get("date", "unknown")
+    return f"baseline recorded at commit {commit} ({date})"
 
 
 def _time(fn, repeats, cold):
@@ -101,6 +128,30 @@ class _PortEcho(PortAwareAlgorithm):
         return state[0] if state[1] >= self.rounds_needed else None
 
 
+class _BroadcastTally(AnonymousAlgorithm):
+    """Fault-tolerant broadcast workload: each node ledgers the size of the
+    received multiset per round, so drops/duplicates/crashed neighbors
+    change the ledger without ever tripping an invariant."""
+
+    bits_per_round = 0
+    name = "perf-broadcast-tally"
+
+    def __init__(self, rounds_needed: int) -> None:
+        self.rounds_needed = rounds_needed
+
+    def init_state(self, input_label, degree: int):
+        return ((), 0)
+
+    def message(self, state):
+        return state[1]
+
+    def transition(self, state, received, bits: str):
+        return (state[0] + (len(received),), state[1] + 1)
+
+    def output(self, state):
+        return state[0] if state[1] >= self.rounds_needed else None
+
+
 def run_runtime_benches(repeats: int) -> list:
     """Unified-engine workloads, timed plus deterministic instrumentation.
 
@@ -130,6 +181,36 @@ def run_runtime_benches(repeats: int) -> list:
                 PortEmulation(_PortEcho(rounds_needed=5)),
                 port_graph,
                 max_rounds=10,
+                require_decided=True,
+            ),
+        ),
+        # Fixed fault workloads: the plans are pure values, so rounds /
+        # messages / bits / faults_injected are deterministic and gated
+        # by --check like every other count.
+        (
+            "engine_faulty_broadcast",
+            16,
+            lambda: execute_with_faults(
+                _BroadcastTally(rounds_needed=6),
+                with_uniform_input(cycle_graph(16)),
+                FaultPlan(
+                    plan_seed=41,
+                    drop_rate=0.15,
+                    duplicate_rate=0.1,
+                    crashes=((3, 4),),
+                ),
+                max_rounds=6,
+                require_decided=True,
+            ),
+        ),
+        (
+            "engine_faulty_port",
+            16,
+            lambda: execute_with_faults(
+                _PortEcho(rounds_needed=5),
+                port_graph,
+                FaultPlan(plan_seed=42, drop_rate=0.1, reorder_rate=0.3),
+                max_rounds=5,
                 require_decided=True,
             ),
         ),
@@ -223,7 +304,9 @@ def run_suite(quick: bool, repeats: int) -> dict:
 
     clear_caches()
     return {
-        "schema": 2,
+        # Schema history: 2 = runtime counts section; 3 = git provenance
+        # block + fault workloads + ``faults_injected`` in counts.
+        "schema": 3,
         "suite": "views-perf",
         "quick": quick,
         "machine": {
@@ -231,6 +314,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
         },
+        "git": _git_info(),
         "results": rows,
         "runtime": run_runtime_benches(repeats),
     }
@@ -293,7 +377,10 @@ def check_against_baseline(
     baseline = json.loads(baseline_path.read_text())
     mismatch = _machine_mismatch(baseline, current)
     if mismatch:
-        print(f"machine specs differ from the committed baseline ({baseline_path}):")
+        print(
+            f"machine specs differ from the committed baseline ({baseline_path}, "
+            f"{_baseline_provenance(baseline)}):"
+        )
         for line in mismatch:
             print(line)
         if not allow_machine_mismatch:
@@ -321,7 +408,10 @@ def check_against_baseline(
         return 2
     drift = _runtime_counts_drift(baseline, current)
     if drift:
-        print("runtime engine counts drifted from the committed baseline:")
+        print(
+            "runtime engine counts drifted from the committed baseline "
+            f"({_baseline_provenance(baseline)}):"
+        )
         for line in drift:
             print(line)
         print(

@@ -46,6 +46,13 @@ class SimulationError(ReproError):
     (e.g. the assignment does not cover every node)."""
 
 
+class FaultInjectionError(ReproError):
+    """The fault-injection subsystem was misconfigured (a rate outside
+    [0, 1], a crash scheduled before round 1, or a delivery discipline
+    the :class:`~repro.faults.delivery.FaultyDelivery` decorator does
+    not know how to wrap)."""
+
+
 class ProblemError(ReproError):
     """A distributed problem was given an invalid instance or output."""
 

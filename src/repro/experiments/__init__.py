@@ -19,12 +19,20 @@ from repro.experiments.base import (
     ExperimentResult,
     ExperimentSpec,
     all_experiment_ids,
+    all_families,
     all_specs,
     get_experiment,
     get_spec,
     run_all,
 )
-from repro.experiments import figures, theorems, lemmas, boundaries, costs  # noqa: F401  (registration)
+from repro.experiments import (  # noqa: F401  (registration)
+    boundaries,
+    costs,
+    figures,
+    lemmas,
+    resilience,
+    theorems,
+)
 from repro.experiments.runner import (
     RunReport,
     derive_seed,
@@ -38,6 +46,7 @@ __all__ = [
     "ExperimentSpec",
     "RunReport",
     "all_experiment_ids",
+    "all_families",
     "all_specs",
     "derive_seed",
     "get_experiment",

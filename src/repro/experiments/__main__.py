@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.base import all_experiment_ids
+from repro.experiments.base import all_experiment_ids, get_spec
 from repro.experiments.runner import run_experiments, write_results_json
 
 
@@ -84,8 +84,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for experiment_id in _select_ids(args) or all_experiment_ids():
-            print(experiment_id)
+        ids = _select_ids(args) or all_experiment_ids()
+        specs = [get_spec(eid) for eid in ids]
+        id_width = max(len("id"), *(len(s.experiment_id) for s in specs))
+        family_width = max(len("family"), *(len(s.family) for s in specs))
+        print(f"{'id':<{id_width}}  {'family':<{family_width}}  {'cost':>6}")
+        for spec in specs:
+            print(
+                f"{spec.experiment_id:<{id_width}}  "
+                f"{spec.family:<{family_width}}  {spec.cost:>6.1f}"
+            )
+        print(f"{len(specs)} experiments")
         return 0
 
     ids = _select_ids(args)

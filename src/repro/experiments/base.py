@@ -73,6 +73,9 @@ class ExperimentSpec:
     ``cost`` is a relative wall-time weight (1.0 = a typical fast
     experiment); the parallel runner dispatches expensive experiments
     first so a straggler never lands last on an otherwise-drained pool.
+    ``family`` groups related experiments (``"figures"``,
+    ``"theorems"``, ``"resilience"``, ...); it defaults to the defining
+    module's basename and is what ``--list`` and family filters key on.
     ``accepts_seed`` records whether the callable takes a ``seed``
     keyword; experiments that fix their seeds internally are simply
     called with no arguments.
@@ -81,6 +84,7 @@ class ExperimentSpec:
     experiment_id: str
     fn: Callable[..., ExperimentResult]
     cost: float = 1.0
+    family: str = ""
     accepts_seed: bool = False
 
     def run(self, seed: int | None = None) -> ExperimentResult:
@@ -92,11 +96,12 @@ class ExperimentSpec:
 _REGISTRY: Dict[str, ExperimentSpec] = {}
 
 
-def experiment(experiment_id: str, *, cost: float = 1.0):
+def experiment(experiment_id: str, *, cost: float = 1.0, family: str = ""):
     """Decorator registering an experiment function under an id.
 
     ``cost`` is the relative wall-time weight used by the parallel
-    runner's longest-first scheduler (see ``repro.experiments.runner``).
+    runner's longest-first scheduler (see ``repro.experiments.runner``);
+    ``family`` defaults to the defining module's basename.
     """
 
     def register(fn: Callable[..., ExperimentResult]):
@@ -110,6 +115,7 @@ def experiment(experiment_id: str, *, cost: float = 1.0):
             experiment_id=experiment_id,
             fn=fn,
             cost=cost,
+            family=family or fn.__module__.rsplit(".", 1)[-1],
             accepts_seed=accepts_seed,
         )
         fn.experiment_id = experiment_id  # type: ignore[attr-defined]
@@ -138,6 +144,11 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
 def all_specs() -> List[ExperimentSpec]:
     """Every registered experiment spec, in id order."""
     return [_REGISTRY[eid] for eid in all_experiment_ids()]
+
+
+def all_families() -> List[str]:
+    """Every registered experiment family, sorted."""
+    return sorted({spec.family for spec in _REGISTRY.values()})
 
 
 def run_all() -> List[ExperimentResult]:

@@ -68,7 +68,9 @@ __all__ = [
     "write_results_json",
 ]
 
-RESULTS_SCHEMA = 2
+# Schema history: 2 = machine/engine metadata split out of rows;
+# 3 = per-run engine metrics carry ``faults_injected`` (fault subsystem).
+RESULTS_SCHEMA = 3
 
 
 def derive_seed(

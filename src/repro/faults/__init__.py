@@ -1,0 +1,55 @@
+"""Deterministic, replayable fault injection for the unified engine.
+
+The paper's model is perfectly synchronous and reliable; this package
+makes the *departures* from that model first-class, so the repro can
+measure where the paper's guarantees (Las-Vegas simulations, 2-hop
+coloring validity, view/quotient agreement) actually break:
+
+* :class:`FaultPlan` / :class:`FaultSchedule` — declarative fault
+  specs whose every decision is SHA-256-derived from the plan seed and
+  the fault's coordinates, so a plan is a pure value and any faulty run
+  is byte-replayable (:mod:`repro.faults.plan`);
+* :class:`FaultyDelivery` / :class:`CrashDiscipline` /
+  :class:`CorruptingTape` / :data:`LOST` — decorators applying the
+  schedule at the delivery and randomness boundaries
+  (:mod:`repro.faults.delivery`);
+* :class:`FaultTrace` / :class:`FaultEvent` — the record of every
+  injected event (:mod:`repro.faults.trace`);
+* :func:`inject_faults` / :func:`execute_with_faults` — ambient and
+  one-shot entry points (:mod:`repro.faults.context`,
+  :mod:`repro.faults.harness`);
+* ``python -m repro.faults.gate`` — the zero-fault differential gate
+  and replay-determinism check (``make faults-smoke``).
+
+See ``docs/FAULTS.md`` for the plan schema, the determinism contract
+and the replay recipe.
+"""
+
+from repro.faults.context import ActiveInjection, current, inject_faults
+from repro.faults.delivery import (
+    LOST,
+    CorruptingTape,
+    CrashDiscipline,
+    FaultyDelivery,
+    LostMessage,
+)
+from repro.faults.harness import FaultedExecution, execute_with_faults
+from repro.faults.plan import FaultPlan, FaultSchedule
+from repro.faults.trace import FaultEvent, FaultTrace
+
+__all__ = [
+    "LOST",
+    "ActiveInjection",
+    "CorruptingTape",
+    "CrashDiscipline",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultTrace",
+    "FaultedExecution",
+    "FaultyDelivery",
+    "LostMessage",
+    "current",
+    "execute_with_faults",
+    "inject_faults",
+]

@@ -1,0 +1,246 @@
+"""Faulty delivery: decorators applying a fault schedule at the
+``emit``/``inbox`` boundary of any :class:`DeliveryDiscipline`.
+
+:class:`FaultyDelivery` wraps a broadcast or port discipline and
+perturbs what each node receives, per the plan's
+:class:`~repro.faults.plan.FaultSchedule`:
+
+* **broadcast** — dropped payloads vanish from the anonymous multiset,
+  duplicated ones appear twice; the survivors are sorted with the same
+  canonical key the bare discipline uses, so an empty plan reproduces
+  the bare inbox byte for byte.
+* **port** — the inbox keeps its fixed arity: a dropped payload is
+  replaced by the :data:`LOST` sentinel, and a reorder event permutes
+  the port-indexed tuple.  Duplication has no port-model analogue (the
+  tuple cannot grow) and is ignored.
+
+Crash-stop nodes are silenced symmetrically: from their crash round on,
+no payload from them reaches anyone and nothing reaches them.  The
+crashed node's *local* clock keeps ticking (it still transitions, on an
+empty multiset or an all-``LOST`` tuple) — what the network observes is
+exactly a crash-stop.  :class:`CrashDiscipline` is the crash-only
+special case, and :class:`CorruptingTape` is the matching decorator for
+the randomness boundary: it flips tape bits per the schedule.
+
+The decorator never re-enters the wrapped discipline's logic: it calls
+``inner.emit`` verbatim and reassembles inboxes itself, tracking the
+round number by counting ``emit`` calls (the engine calls ``emit``
+exactly once per round).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import FaultInjectionError
+from repro.faults.plan import FaultPlan, FaultSchedule
+from repro.faults.trace import FaultEvent, FaultTrace
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.runtime.engine import (
+    BroadcastDelivery,
+    DeliveryDiscipline,
+    PortDelivery,
+    _message_sort_key,
+)
+from repro.runtime.tape import BitSource
+
+
+class LostMessage:
+    """Singleton sentinel delivered on a port whose payload was lost."""
+
+    _instance: Optional["LostMessage"] = None
+
+    def __new__(cls) -> "LostMessage":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<LOST>"
+
+    def __reduce__(self):
+        return (LostMessage, ())
+
+
+LOST = LostMessage()
+
+
+class FaultyDelivery(DeliveryDiscipline):
+    """A :class:`DeliveryDiscipline` decorator injecting scheduled faults.
+
+    Wraps exactly one execution: the round counter advances on every
+    ``emit`` call, so reuse across executions would misalign fault
+    rounds.  The harness creates a fresh decorator per run.
+    """
+
+    def __init__(
+        self,
+        inner: DeliveryDiscipline,
+        schedule: "FaultSchedule | FaultPlan",
+        trace: Optional[FaultTrace] = None,
+    ) -> None:
+        if isinstance(schedule, FaultPlan):
+            schedule = FaultSchedule(schedule)
+        if isinstance(inner, PortDelivery):
+            self._mode = "port"
+        elif isinstance(inner, BroadcastDelivery):
+            self._mode = "broadcast"
+        else:
+            raise FaultInjectionError(
+                f"FaultyDelivery cannot wrap {type(inner).__name__}; only "
+                "BroadcastDelivery and PortDelivery (and subclasses) are "
+                "supported"
+            )
+        self._inner = inner
+        self._schedule = schedule
+        self._trace = trace if trace is not None else FaultTrace()
+        self._round = 0
+        self._crash_noted: set = set()
+        self.name = f"faulty-{inner.name}"
+
+    @property
+    def inner(self) -> DeliveryDiscipline:
+        return self._inner
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    @property
+    def trace(self) -> FaultTrace:
+        return self._trace
+
+    @property
+    def round_number(self) -> int:
+        """The round currently being delivered (0 before the first)."""
+        return self._round
+
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, algorithm: Any, states: Mapping[Node, Any], graph: LabeledGraph
+    ) -> Dict[Node, Any]:
+        self._round += 1
+        return self._inner.emit(algorithm, states, graph)
+
+    def _silenced(self, node: Node) -> bool:
+        """Whether ``node`` is crash-silenced this round (noting the
+        crash event once, at the first silenced round)."""
+        if not self._schedule.crashed(node, self._round):
+            return False
+        if node not in self._crash_noted:
+            self._crash_noted.add(node)
+            self._trace.record(FaultEvent("crash", self._round, node))
+        return True
+
+    def inbox(
+        self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
+    ) -> Tuple[Any, ...]:
+        if self._mode == "broadcast":
+            return self._broadcast_inbox(outboxes, node, graph)
+        return self._port_inbox(outboxes, node, graph)
+
+    def _broadcast_inbox(
+        self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
+    ) -> Tuple[Any, ...]:
+        r, schedule = self._round, self._schedule
+        receiver_down = self._silenced(node)
+        received: List[Any] = []
+        for u in graph.neighbors(node):
+            if receiver_down or self._silenced(u):
+                continue
+            if schedule.drops(r, node, u):
+                self._trace.record(FaultEvent("drop", r, node, (u,)))
+                continue
+            received.append(outboxes[u])
+            if schedule.duplicates(r, node, u):
+                self._trace.record(FaultEvent("duplicate", r, node, (u,)))
+                received.append(outboxes[u])
+        return tuple(sorted(received, key=_message_sort_key))
+
+    def _port_inbox(
+        self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
+    ) -> Tuple[Any, ...]:
+        r, schedule = self._round, self._schedule
+        receiver_down = self._silenced(node)
+        senders = list(graph.ports(node))
+        entries: List[Any] = []
+        for port, u in enumerate(senders):
+            if receiver_down or self._silenced(u):
+                entries.append(LOST)
+            elif schedule.drops(r, node, u):
+                self._trace.record(FaultEvent("drop", r, node, (u, port)))
+                entries.append(LOST)
+            else:
+                entries.append(outboxes[u][graph.neighbor_to_port(u, node)])
+        permutation = schedule.reorder_permutation(r, node, len(entries))
+        if permutation is not None:
+            self._trace.record(
+                FaultEvent("reorder", r, node, tuple(permutation))
+            )
+            entries = [entries[source] for source in permutation]
+        return tuple(entries)
+
+
+class CrashDiscipline(FaultyDelivery):
+    """Crash-stop silencing alone: a :class:`FaultyDelivery` whose plan
+    contains nothing but the given ``(node, round)`` crash schedule."""
+
+    def __init__(
+        self,
+        inner: DeliveryDiscipline,
+        crashes: "Mapping[Node, int] | Tuple[Tuple[Node, int], ...]",
+        trace: Optional[FaultTrace] = None,
+    ) -> None:
+        if isinstance(crashes, Mapping):
+            crashes = tuple(crashes.items())
+        super().__init__(
+            inner, FaultPlan(crashes=tuple(crashes)), trace=trace
+        )
+
+
+class CorruptingTape(BitSource):
+    """A :class:`BitSource` decorator flipping bits per the schedule.
+
+    The flip decision for a node's ``i``-th drawn bit depends only on
+    ``(plan_seed, node, i)``, so the corrupted stream is as replayable
+    as the underlying tape.  With ``corrupt_rate == 0`` the adapter is
+    an exact pass-through.
+    """
+
+    def __init__(
+        self,
+        inner: BitSource,
+        node: Node,
+        schedule: "FaultSchedule | FaultPlan",
+        trace: Optional[FaultTrace] = None,
+    ) -> None:
+        if isinstance(schedule, FaultPlan):
+            schedule = FaultSchedule(schedule)
+        self._inner = inner
+        self._node = node
+        self._schedule = schedule
+        self._trace = trace if trace is not None else FaultTrace()
+        self._drawn = 0
+
+    @property
+    def inner(self) -> BitSource:
+        return self._inner
+
+    def draw(self, count: int) -> str:
+        bits = self._inner.draw(count)
+        out = []
+        for offset, bit in enumerate(bits):
+            index = self._drawn + offset
+            if self._schedule.flips(self._node, index):
+                self._trace.record(
+                    FaultEvent("corrupt", 0, self._node, (index,))
+                )
+                out.append("1" if bit == "0" else "0")
+            else:
+                out.append(bit)
+        self._drawn += len(bits)
+        return "".join(out)
+
+    def remaining(self, count: int) -> bool:
+        return self._inner.remaining(count)

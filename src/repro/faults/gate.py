@@ -1,0 +1,96 @@
+"""Zero-fault differential gate: ``python -m repro.faults.gate``.
+
+The fault subsystem's core transparency contract, enforced as an
+executable check (wired into CI as ``make faults-smoke``):
+
+1. **Zero-fault identity** — running the *full* experiment registry
+   under an ambient empty :class:`~repro.faults.plan.FaultPlan`
+   (every delivery wrapped in
+   :class:`~repro.faults.delivery.FaultyDelivery`, every tape wrapped
+   in :class:`~repro.faults.delivery.CorruptingTape`) produces
+   canonical results byte-identical to the bare engine, and injects
+   exactly zero fault events.
+2. **Faulty replay determinism** — the ``resilience`` experiment
+   family, whose experiments run fixed nonzero plans, produces
+   canonical results byte-identical across consecutive runs and
+   across ``jobs=1`` vs ``jobs=4``.
+
+Exits 0 if both hold, 1 with a diff summary otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.experiments.base import all_experiment_ids, get_spec
+from repro.experiments.runner import (
+    canonical_results,
+    results_payload,
+    run_experiments,
+)
+from repro.faults.context import inject_faults
+from repro.faults.plan import FaultPlan
+
+
+def _canonical_bytes(ids: List[str], *, jobs: int = 1) -> str:
+    report = run_experiments(ids, jobs=jobs)
+    return json.dumps(canonical_results(results_payload(report)), sort_keys=True)
+
+
+def _first_divergence(a: str, b: str) -> str:
+    """A short context window around the first differing byte."""
+    for i, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            lo = max(0, i - 60)
+            return f"at byte {i}: ...{a[lo:i + 60]!r} vs ...{b[lo:i + 60]!r}"
+    return f"lengths differ: {len(a)} vs {len(b)}"
+
+
+def main() -> int:
+    failures = []
+    ids = all_experiment_ids()
+
+    print(f"[gate] zero-fault identity over {len(ids)} experiments ...")
+    bare = _canonical_bytes(ids)
+    with inject_faults(FaultPlan()) as injection:
+        wrapped = _canonical_bytes(ids)
+    if bare != wrapped:
+        failures.append(
+            "zero-fault identity: canonical results diverge under an empty "
+            f"FaultPlan ({_first_divergence(bare, wrapped)})"
+        )
+    if len(injection.trace) != 0:
+        failures.append(
+            f"zero-fault identity: empty plan injected {len(injection.trace)} "
+            f"fault events ({dict(injection.trace.counts())!r})"
+        )
+
+    family = [eid for eid in ids if get_spec(eid).family == "resilience"]
+    print(f"[gate] faulty replay determinism over {family} ...")
+    serial_a = _canonical_bytes(family, jobs=1)
+    serial_b = _canonical_bytes(family, jobs=1)
+    fanned = _canonical_bytes(family, jobs=4)
+    if serial_a != serial_b:
+        failures.append(
+            "faulty replay: consecutive serial runs diverge "
+            f"({_first_divergence(serial_a, serial_b)})"
+        )
+    if serial_a != fanned:
+        failures.append(
+            "faulty replay: jobs=1 vs jobs=4 diverge "
+            f"({_first_divergence(serial_a, fanned)})"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"[gate] FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("[gate] ok: zero-fault runs are byte-identical to the bare engine;")
+    print("[gate] ok: nonzero fault plans replay byte-identically (serial and fanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""One-shot faulty executions: :func:`execute_with_faults`.
+
+A convenience front end over :func:`repro.faults.context.inject_faults`
+for the common case of running a single algorithm under a single plan
+and wanting the result and the fault trace together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.faults.context import inject_faults
+from repro.faults.plan import FaultPlan
+from repro.faults.trace import FaultTrace
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.runtime.engine import ExecutionResult, execute
+
+
+@dataclass
+class FaultedExecution:
+    """An execution result together with the faults it suffered."""
+
+    result: ExecutionResult
+    fault_trace: FaultTrace
+    plan: FaultPlan
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.fault_trace)
+
+    def fault_counts(self) -> Dict[str, int]:
+        return self.fault_trace.counts()
+
+
+def execute_with_faults(
+    algorithm: Any,
+    graph: LabeledGraph,
+    plan: FaultPlan,
+    **execute_kwargs: Any,
+) -> FaultedExecution:
+    """Run ``algorithm`` on ``graph`` under ``plan``.
+
+    Accepts every keyword :func:`~repro.runtime.engine.execute` accepts
+    (``seed=``, ``assignment=``, ``tapes=``, ``max_rounds=``, ...).
+    Raises whatever the execution raises — under aggressive plans that
+    includes algorithm-level errors (a node fed ``LOST`` where it
+    expected structure), which callers probing for breakage should
+    catch; see :func:`repro.analysis.resilience.probe`.
+    """
+    with inject_faults(plan) as injection:
+        result = execute(algorithm, graph, **execute_kwargs)
+    return FaultedExecution(
+        result=result,
+        fault_trace=injection.trace,
+        plan=plan,
+    )

@@ -1,0 +1,88 @@
+"""Fault traces: the record of every injected event.
+
+Every observable perturbation — a dropped payload, a duplicated
+broadcast, a permuted port inbox, a node going silent, a flipped tape
+bit — is recorded as a :class:`FaultEvent`.  The harness gives each
+execution its own :class:`FaultTrace` (chained to a per-context parent
+trace), so both "what happened to this run" and "what happened under
+this ``inject_faults`` block" are answerable, and the per-execution
+event count lands in :class:`~repro.runtime.engine.ExecutionMetrics`
+as ``faults_injected``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+KINDS = ("drop", "duplicate", "reorder", "crash", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``round`` is the 1-based execution round for message-level faults,
+    and the round of first silence for ``crash`` events.  A tape does
+    not know the engine's round counter, so ``corrupt`` events carry
+    ``round=0`` and record the node's absolute bit index in ``detail``
+    instead.
+    """
+
+    kind: str
+    round: int
+    node: Any
+    detail: Tuple[Any, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "round": self.round,
+            "node": self.node if isinstance(self.node, (int, str)) else repr(self.node),
+            "detail": [
+                item if isinstance(item, (int, str, float)) else repr(item)
+                for item in self.detail
+            ],
+        }
+
+
+@dataclass
+class FaultTrace:
+    """An append-only log of injected faults.
+
+    ``parent`` chains a per-execution trace to the surrounding
+    injection context's trace: recording into the child also records
+    into the parent, so the context sees the union of all its runs.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    parent: Optional["FaultTrace"] = None
+
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        if self.parent is not None:
+            self.parent.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (only kinds that occurred appear)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def as_dict(self, max_events: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-safe summary: totals per kind plus (optionally capped)
+        individual events, in injection order."""
+        events = self.events if max_events is None else self.events[:max_events]
+        return {
+            "total": len(self.events),
+            "by_kind": {kind: n for kind, n in sorted(self.counts().items())},
+            "events": [event.as_dict() for event in events],
+            "truncated": max_events is not None and len(self.events) > max_events,
+        }

@@ -138,12 +138,16 @@ class ExecutionMetrics:
     counts point-to-point payload deliveries (one broadcast by a node of
     degree ``d`` counts ``d``, as does one payload per port), making
     broadcast and port executions directly comparable.
+    ``faults_injected`` counts the fault events the :mod:`repro.faults`
+    subsystem injected into this execution (0 for bare runs and for
+    runs under an empty plan).
     """
 
     rounds: int = 0
     messages_sent: int = 0
     bits_drawn: int = 0
     decided_per_round: List[int] = field(default_factory=list)
+    faults_injected: int = 0
     wall_s: float = 0.0
 
     @property
@@ -157,6 +161,7 @@ class ExecutionMetrics:
             "bits_drawn": self.bits_drawn,
             "nodes_decided": self.nodes_decided,
             "decided_per_round": list(self.decided_per_round),
+            "faults_injected": self.faults_injected,
             "wall_s": self.wall_s,
         }
 
@@ -170,6 +175,7 @@ class EngineMetricsTotals:
     messages_sent: int = 0
     bits_drawn: int = 0
     nodes_decided: int = 0
+    faults_injected: int = 0
     wall_s: float = 0.0
 
     def absorb(self, metrics: ExecutionMetrics) -> None:
@@ -178,6 +184,7 @@ class EngineMetricsTotals:
         self.messages_sent += metrics.messages_sent
         self.bits_drawn += metrics.bits_drawn
         self.nodes_decided += metrics.nodes_decided
+        self.faults_injected += metrics.faults_injected
         self.wall_s += metrics.wall_s
 
     def as_dict(self, include_wall: bool = True) -> Dict[str, Any]:
@@ -187,6 +194,7 @@ class EngineMetricsTotals:
             "messages_sent": self.messages_sent,
             "bits_drawn": self.bits_drawn,
             "nodes_decided": self.nodes_decided,
+            "faults_injected": self.faults_injected,
         }
         if include_wall:
             payload["wall_s"] = self.wall_s
@@ -518,6 +526,21 @@ class ExecutionEngine:
 # The high-level entry point
 # ----------------------------------------------------------------------
 
+# Ambient fault injection (see repro.faults.context).  The engine knows
+# nothing about fault semantics: repro.faults registers a zero-argument
+# provider here on import, and execute() asks it for the active
+# injection, if any, letting that injection wrap the resolved delivery,
+# tapes and hooks.  When repro.faults is never imported the provider
+# stays None and execute() pays a single `is None` check.
+_INJECTION_PROVIDER: Optional[Any] = None
+
+
+def register_injection_provider(provider: Any) -> None:
+    """Install the callable yielding the active fault injection (or
+    ``None``).  Called once by :mod:`repro.faults.context` on import."""
+    global _INJECTION_PROVIDER
+    _INJECTION_PROVIDER = provider
+
 
 def _infer_delivery(algorithm: Any) -> DeliveryDiscipline:
     from repro.runtime.port_model import PortAwareAlgorithm
@@ -614,11 +637,17 @@ def execute(
     if funded_limit is not None:
         limit = funded_limit if max_rounds is None else min(limit, funded_limit)
 
+    delivery = delivery or _infer_delivery(algorithm)
+    if _INJECTION_PROVIDER is not None:
+        injection = _INJECTION_PROVIDER()
+        if injection is not None:
+            delivery, tapes, hooks = injection.wrap(delivery, tapes, graph, hooks)
+
     engine = ExecutionEngine(
         algorithm,
         graph,
         tapes,
-        delivery=delivery or _infer_delivery(algorithm),
+        delivery=delivery,
         policy=policy,
         hooks=hooks,
     )

@@ -35,6 +35,10 @@ EXPECTED_IDS = {
     "success-curve",
     "decoupling",
     "candidate-growth",
+    "resilience-drop",
+    "resilience-crash",
+    "resilience-corrupt",
+    "resilience-reorder",
 }
 
 FAST_IDS = sorted(
@@ -49,6 +53,11 @@ FAST_IDS = sorted(
         "success-curve",
         "decoupling",
         "candidate-growth",
+        # The resilience family is covered by test_resilience.py.
+        "resilience-drop",
+        "resilience-crash",
+        "resilience-corrupt",
+        "resilience-reorder",
     }
 )
 
@@ -94,7 +103,11 @@ class TestResults:
 
     @pytest.mark.parametrize(
         "experiment_id",
-        sorted(EXPECTED_IDS - set(FAST_IDS) - {"figure3", "theorem1"}),
+        sorted(
+            e
+            for e in EXPECTED_IDS - set(FAST_IDS) - {"figure3", "theorem1"}
+            if not e.startswith("resilience-")
+        ),
     )
     def test_slow_experiments_pass(self, experiment_id):
         result = get_experiment(experiment_id)()

@@ -191,7 +191,7 @@ class TestMapFamilies:
 class TestJsonArtifact:
     def test_payload_shape_mirrors_bench_views(self, parallel_report):
         payload = results_payload(parallel_report)
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["suite"] == "experiments"
         assert set(payload["machine"]) == {"platform", "python", "implementation"}
         engine = payload["engine"]
@@ -219,6 +219,7 @@ class TestJsonArtifact:
             "messages_sent",
             "bits_drawn",
             "nodes_decided",
+            "faults_injected",
             "wall_s",
         }
         # View-layer experiments never touch the engine (executions == 0);
@@ -259,7 +260,7 @@ class TestJsonArtifact:
         target = write_results_json(tmp_path / "out.json", serial_report)
         assert target.exists()
         payload = json.loads(target.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert [e["experiment_id"] for e in payload["results"]] == SUBSET
 
 
@@ -291,6 +292,19 @@ class TestCli:
 
     def test_list_respects_filter(self, capsys):
         rc = main(["--list", "--filter", "lemma"])
-        out = capsys.readouterr().out.split()
+        lines = capsys.readouterr().out.splitlines()
         assert rc == 0
-        assert out == ["lemma2", "lemma3", "lemma4"]
+        assert lines[0].split() == ["id", "family", "cost"]
+        assert [line.split()[0] for line in lines[1:-1]] == [
+            "lemma2",
+            "lemma3",
+            "lemma4",
+        ]
+        assert all(line.split()[1] == "lemmas" for line in lines[1:-1])
+        assert lines[-1] == "3 experiments"
+
+    def test_list_prints_family_and_cost_columns(self, capsys):
+        rc = main(["--list", "--filter", "resilience-drop"])
+        lines = capsys.readouterr().out.splitlines()
+        assert rc == 0
+        assert lines[1].split() == ["resilience-drop", "resilience", "4.0"]

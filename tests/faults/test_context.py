@@ -1,0 +1,128 @@
+"""Tests for ambient injection (``repro.faults.context``) and the
+``execute_with_faults`` harness.
+
+The wiring under test: while an ``inject_faults`` block is active,
+every ``execute()`` call gets wrapped decorators, a child trace, and a
+``faults_injected`` metric — and outside the block (or under an empty
+plan) the engine behaves exactly as if the fault package did not exist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    current,
+    execute_with_faults,
+    inject_faults,
+)
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.runtime.algorithm import FunctionAlgorithm
+from repro.runtime.engine import execute
+
+
+def counter(stop_at: int):
+    return FunctionAlgorithm(
+        init=lambda label, deg: 0,
+        msg=lambda s: s,
+        step=lambda s, received, b: s + 1,
+        out=lambda s: s if s >= stop_at else None,
+        bits_per_round=0,
+        name="counter",
+    )
+
+
+def tally(stop_at: int):
+    """Decides after ``stop_at`` rounds with the per-round inbox sizes."""
+    return FunctionAlgorithm(
+        init=lambda label, deg: ((), 0),
+        msg=lambda s: s[1],
+        step=lambda s, received, b: (s[0] + (len(received),), s[1] + 1),
+        out=lambda s: s[0] if s[1] >= stop_at else None,
+        bits_per_round=0,
+        name="tally",
+    )
+
+
+GRAPH = with_uniform_input(cycle_graph(6))
+
+
+class TestAmbientContext:
+    def test_no_context_by_default(self):
+        assert current() is None
+
+    def test_context_is_active_inside_the_block(self):
+        with inject_faults(FaultPlan()) as injection:
+            assert current() is injection
+        assert current() is None
+
+    def test_contexts_nest_innermost_wins(self):
+        outer_plan = FaultPlan(plan_seed=1)
+        inner_plan = FaultPlan(plan_seed=2)
+        with inject_faults(outer_plan) as outer:
+            with inject_faults(inner_plan) as inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_context_is_released_on_error(self):
+        with pytest.raises(RuntimeError):
+            with inject_faults(FaultPlan()):
+                raise RuntimeError("boom")
+        assert current() is None
+
+    def test_execute_inside_block_is_wrapped(self):
+        with inject_faults(FaultPlan(plan_seed=3, drop_rate=1.0)) as injection:
+            result = execute(tally(2), GRAPH, max_rounds=2)
+        assert all(log == (0, 0) for log in result.outputs.values())
+        assert len(injection.trace) > 0
+        assert result.metrics.faults_injected == len(injection.trace)
+
+    def test_empty_plan_is_transparent_but_still_wraps(self):
+        bare = execute(tally(3), GRAPH, max_rounds=3)
+        with inject_faults(FaultPlan()) as injection:
+            wrapped = execute(tally(3), GRAPH, max_rounds=3)
+        assert bare.outputs == wrapped.outputs
+        assert len(injection.execution_traces) == 1  # it did wrap
+        assert len(injection.trace) == 0
+        assert wrapped.metrics.faults_injected == 0
+
+    def test_block_accumulates_across_executions(self):
+        plan = FaultPlan(plan_seed=3, drop_rate=0.5)
+        with inject_faults(plan) as injection:
+            first = execute(tally(3), GRAPH, max_rounds=3)
+            second = execute(tally(3), GRAPH, max_rounds=3)
+        assert len(injection.execution_traces) == 2
+        assert (
+            len(injection.trace)
+            == first.metrics.faults_injected + second.metrics.faults_injected
+        )
+        # Same plan, same graph, same round numbers -> identical faults.
+        assert first.outputs == second.outputs
+
+    def test_last_execution_trace(self):
+        with inject_faults(FaultPlan(plan_seed=3, drop_rate=1.0)) as injection:
+            assert injection.last_execution_trace is None
+            execute(tally(1), GRAPH, max_rounds=1)
+            last = injection.last_execution_trace
+        assert last is injection.execution_traces[-1]
+        assert len(last) == GRAPH.num_nodes * 2
+
+
+class TestHarness:
+    def test_execute_with_faults_bundles_result_and_trace(self):
+        plan = FaultPlan(plan_seed=9, drop_rate=1.0)
+        faulted = execute_with_faults(tally(2), GRAPH, plan, max_rounds=2)
+        assert faulted.plan == plan
+        assert faulted.result.all_decided
+        assert faulted.faults_injected == len(faulted.fault_trace)
+        assert faulted.fault_counts()["drop"] == GRAPH.num_nodes * 2 * 2
+
+    def test_harness_restores_the_outer_context(self):
+        assert current() is None
+        execute_with_faults(counter(1), GRAPH, FaultPlan(), max_rounds=1)
+        assert current() is None
+
+    def test_metrics_without_context_report_zero_faults(self):
+        result = execute(counter(2), GRAPH, max_rounds=2)
+        assert result.metrics.faults_injected == 0

@@ -128,6 +128,49 @@ class TestExecutionPolicy:
             _trace_level("everything")
 
 
+@pytest.mark.parametrize("model", MODELS)
+class TestPolicyEdgeCases:
+    """Degenerate budgets: zero rounds allowed, zero rounds funded."""
+
+    def test_max_rounds_zero_runs_no_round(self, model):
+        g = _uniform(path_graph(3))
+        engine = make_engine(
+            model, make_counter(model, 5), g, {v: FixedTape("") for v in g.nodes}
+        )
+        result = engine.run(max_rounds=0)
+        assert result.rounds == 0
+        assert not result.all_decided
+        assert result.outputs == {}
+        assert result.metrics.messages_sent == 0
+
+    def test_max_rounds_zero_keeps_init_decisions(self, model):
+        # stop_at=0 decides at state initialization, before any round.
+        g = _uniform(path_graph(3))
+        engine = make_engine(
+            model, make_counter(model, 0), g, {v: FixedTape("") for v in g.nodes}
+        )
+        result = engine.run(max_rounds=0)
+        assert result.rounds == 0
+        assert result.all_decided
+        assert result.outputs == {v: 0 for v in g.nodes}
+
+    def test_tapes_funding_exactly_zero_rounds(self, model):
+        # One node's tape cannot fund even the first round: the funding
+        # rule stops the run before any state mutation, without raising.
+        g = _uniform(path_graph(3))
+        algorithm = make_counter(model, stop_at=5, bits=2)
+        tapes = {0: FixedTape("00"), 1: FixedTape("0"), 2: FixedTape("0000")}
+        engine = make_engine(model, algorithm, g, tapes)
+        result = engine.run(max_rounds=100)
+        assert result.rounds == 0  # min_v floor(|b(v)| / 2) == 0
+        assert not result.all_decided
+        assert result.metrics.bits_drawn == 0
+        for v in g.nodes:
+            state = engine.state_of(v)
+            count = state if model == "broadcast" else state.count
+            assert count == 0  # no torn round
+
+
 # ----------------------------------------------------------------------
 # The delivery-agnostic kernel contract
 # ----------------------------------------------------------------------
@@ -323,6 +366,7 @@ class TestMetricsCollection:
             "messages_sent": 10,
             "bits_drawn": 6,
             "nodes_decided": 2,
+            "faults_injected": 0,
         }
         assert totals.as_dict()["wall_s"] == 0.5
 
