@@ -11,7 +11,7 @@ FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
 # (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
 PERF_SMOKE_FLAGS ?=
 
-.PHONY: test bench perf perf-smoke faults-smoke lint typecheck experiments ci
+.PHONY: test bench perf perf-smoke faults-smoke invariants lint typecheck experiments ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -27,6 +27,10 @@ perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs base
 
 faults-smoke:  ## zero-fault differential gate (see docs/FAULTS.md)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.faults.gate
+
+invariants:  ## AST-based determinism/anonymity lint (see docs/LINT.md)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint --baseline LINT_BASELINE.json
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint tests --warn-only
 
 lint:  ## ruff: lint everything, format-check the migrated files
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
@@ -47,4 +51,4 @@ experiments:  ## run every experiment in parallel, writing the JSON artifact
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments --all --jobs 4 \
 		--json RESULTS_experiments.json
 
-ci: lint typecheck test faults-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs
+ci: lint typecheck invariants test faults-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

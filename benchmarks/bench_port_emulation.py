@@ -8,7 +8,6 @@ outputs at a one-round overhead, and benchmarks the emulation cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.analysis.sweeps import SweepRow, format_table
 from repro.graphs.builders import cycle_graph, path_graph, star_graph, with_uniform_input
@@ -23,7 +22,7 @@ def colored(graph):
 
 @dataclass(frozen=True)
 class _State:
-    ledger: Tuple
+    ledger: tuple
     round_number: int
 
 

@@ -24,7 +24,7 @@ algorithm's.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Tuple
+from typing import Any
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.problem import DistributedProblem, OutputLabeling
@@ -81,10 +81,10 @@ class _State:
     color: Any
     view: ViewTree
     round_number: int
-    is_root: Optional[bool]
-    depth: Optional[int]
+    is_root: bool | None
+    depth: int | None
     parent_color: Any
-    output: Optional[Tuple]
+    output: tuple | None
 
 
 class LeaderBFSTree(AnonymousAlgorithm):
@@ -124,12 +124,13 @@ class LeaderBFSTree(AnonymousAlgorithm):
             # Election decision (as in MinimalViewElection).
             n = state.n
             my_alias = grown.truncate(n)
-            aliases = {
-                id(sub.truncate(n)): sub.truncate(n)
-                for sub in grown.subtrees()
-                if sub.depth >= n
-            }
-            minimum = min(aliases.values(), key=lambda t: t.sort_key())
+            # Truncated views are interned, so equal sort_key means the
+            # same object; min() needs no identity-keyed deduplication
+            # (and id() would leak node identity into algorithm state).
+            minimum = min(
+                (sub.truncate(n) for sub in grown.subtrees() if sub.depth >= n),
+                key=lambda t: t.sort_key(),
+            )
             if my_alias is minimum:
                 return replace(
                     state,
@@ -163,5 +164,5 @@ class LeaderBFSTree(AnonymousAlgorithm):
             output=("child", depth, best_color),
         )
 
-    def output(self, state: _State) -> Optional[Tuple]:
+    def output(self, state: _State) -> tuple | None:
         return state.output

@@ -17,7 +17,6 @@ reasoning:
 
 from __future__ import annotations
 
-from typing import Tuple
 
 
 def prefix_related(a: str, b: str) -> bool:
@@ -45,6 +44,6 @@ def stream_greater(a: str, b: str) -> bool:
     raise AssertionError("unreachable: diverged strings differ within the overlap")
 
 
-def bitstring_order_key(s: str) -> Tuple[int, str]:
+def bitstring_order_key(s: str) -> tuple[int, str]:
     """The paper's bitstring order: by length first, then lexicographic."""
     return (len(s), s)

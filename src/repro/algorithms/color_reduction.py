@@ -20,12 +20,11 @@ undecided node is always locally minimal — termination in at most
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
 
 from repro.runtime.algorithm import AnonymousAlgorithm
 
 
-def _color_key(color) -> Tuple[int, str]:
+def _color_key(color) -> tuple[int, str]:
     text = color if isinstance(color, str) else repr(color)
     return (len(text), text)
 
@@ -33,10 +32,10 @@ def _color_key(color) -> Tuple[int, str]:
 @dataclass(frozen=True)
 class _State:
     original: object
-    decision: Optional[int]
+    decision: int | None
     # (original color, decision) pairs heard in the previous round —
     # re-broadcast so 2-hop neighbors see them one round later.
-    heard: Tuple
+    heard: tuple
     round_number: int
 
 
@@ -68,7 +67,7 @@ class TwoHopColorReduction(AnonymousAlgorithm):
         # (one round stale).  The stale lists include my own echo; unlike
         # conflict detection, the echo is harmless here — my own original
         # color is never smaller than itself and my decision is None.
-        entries: Dict[str, Tuple] = {}
+        entries: dict[str, tuple] = {}
         for (orig, dec, list_u) in received:
             entries[repr(orig)] = (orig, dec)
             for (orig_w, dec_w) in list_u:
@@ -101,5 +100,5 @@ class TwoHopColorReduction(AnonymousAlgorithm):
             round_number=round_number,
         )
 
-    def output(self, state: _State) -> Optional[int]:
+    def output(self, state: _State) -> int | None:
         return state.decision

@@ -10,7 +10,6 @@ ones, so they witness GRAN membership just fine.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.problems.decision import NO, YES
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -18,8 +17,8 @@ from repro.runtime.algorithm import AnonymousAlgorithm
 
 @dataclass(frozen=True)
 class _DecState:
-    verdict: Optional[str]
-    payload: Tuple = ()
+    verdict: str | None
+    payload: tuple = ()
     round_number: int = 0
 
 
@@ -50,7 +49,7 @@ class WellFormedInputDecider(AnonymousAlgorithm):
     def transition(self, state: _DecState, received, bits: str) -> _DecState:
         return replace(state, round_number=state.round_number + 1)
 
-    def output(self, state: _DecState) -> Optional[str]:
+    def output(self, state: _DecState) -> str | None:
         return state.verdict
 
 
@@ -119,5 +118,5 @@ class TwoHopColoringDecider(AnonymousAlgorithm):
             round_number=round_number,
         )
 
-    def output(self, state: _DecState) -> Optional[str]:
+    def output(self, state: _DecState) -> str | None:
         return state.verdict

@@ -18,12 +18,11 @@ matching the bitstring order used everywhere else.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.runtime.algorithm import AnonymousAlgorithm
 
 
-def _color_key(color) -> Tuple[int, str]:
+def _color_key(color) -> tuple[int, str]:
     text = color if isinstance(color, str) else repr(color)
     return (len(text), text)
 
@@ -70,7 +69,7 @@ class GreedyMISByColor(AnonymousAlgorithm):
             return replace(state, status="in", round_number=round_number)
         return replace(state, round_number=round_number)
 
-    def output(self, state: _MISState) -> Optional[bool]:
+    def output(self, state: _MISState) -> bool | None:
         if state.status == "in":
             return True
         if state.status == "out":
@@ -81,8 +80,8 @@ class GreedyMISByColor(AnonymousAlgorithm):
 @dataclass(frozen=True)
 class _ColoringState:
     color: object
-    output_color: Optional[int]
-    neighbor_outputs: Tuple
+    output_color: int | None
+    neighbor_outputs: tuple
     round_number: int
 
 
@@ -125,5 +124,5 @@ class GreedyColoringByColor(AnonymousAlgorithm):
             return replace(state, output_color=choice, round_number=round_number)
         return replace(state, round_number=round_number)
 
-    def output(self, state: _ColoringState) -> Optional[int]:
+    def output(self, state: _ColoringState) -> int | None:
         return state.output_color

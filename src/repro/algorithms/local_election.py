@@ -18,7 +18,6 @@ algorithm; the class exists for the ``k = 2`` case.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.algorithms.bitstrings import diverged, stream_greater
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -27,7 +26,7 @@ ACTIVE = "ACTIVE"
 LEADER = "LEADER"
 DOMINATED = "DOMINATED"
 
-Entry = Tuple[str, str]  # (status, priority)
+Entry = tuple[str, str]  # (status, priority)
 
 
 @dataclass(frozen=True)
@@ -35,7 +34,7 @@ class _State:
     status: str
     priority: str
     prev_entry: Entry
-    heard: Tuple[Entry, ...]
+    heard: tuple[Entry, ...]
     round_number: int
 
 
@@ -65,7 +64,7 @@ class TwoLocalElection(AnonymousAlgorithm):
 
     def transition(self, state: _State, received, bits: str) -> _State:
         round_number = state.round_number + 1
-        heard_now: Tuple[Entry, ...] = tuple(
+        heard_now: tuple[Entry, ...] = tuple(
             (priority, status) for (status, priority, _lists) in received
         )
         if state.status != ACTIVE:
@@ -111,7 +110,7 @@ class TwoLocalElection(AnonymousAlgorithm):
             round_number=round_number,
         )
 
-    def output(self, state: _State) -> Optional[bool]:
+    def output(self, state: _State) -> bool | None:
         if state.status == LEADER:
             return True
         if state.status == DOMINATED:

@@ -28,7 +28,6 @@ component dominates its neighbors, so progress is a.s. perpetual.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.algorithms.bitstrings import diverged, stream_greater
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -88,7 +87,7 @@ class AnonymousMISAlgorithm(AnonymousAlgorithm):
             round_number=round_number,
         )
 
-    def output(self, state: _State) -> Optional[bool]:
+    def output(self, state: _State) -> bool | None:
         if state.status == IN:
             return True
         if state.status == OUT:

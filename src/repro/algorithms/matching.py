@@ -31,7 +31,6 @@ to each other and match.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.algorithms.bitstrings import diverged, prefix_related, stream_greater
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -45,8 +44,8 @@ PENDING = "PENDING"
 class _State:
     status: str
     token: str
-    proposal: Optional[str]
-    output: Optional[Tuple]
+    proposal: str | None
+    output: tuple | None
     round_number: int
 
 
@@ -66,7 +65,7 @@ class AnonymousMatchingAlgorithm(AnonymousAlgorithm):
     def message(self, state: _State):
         return (state.status, state.token, state.proposal)
 
-    def output(self, state: _State) -> Optional[Tuple]:
+    def output(self, state: _State) -> tuple | None:
         return state.output
 
     # ------------------------------------------------------------------
@@ -159,7 +158,7 @@ class AnonymousMatchingAlgorithm(AnonymousAlgorithm):
                 if not can_propose:
                     break
 
-        proposal: Optional[str] = None
+        proposal: str | None = None
         if can_propose:
             target = candidates[0]
             for other in candidates[1:]:

@@ -18,7 +18,6 @@ observes that decay.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.problems.election import FOLLOWER, LEADER
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -27,10 +26,10 @@ from repro.runtime.algorithm import AnonymousAlgorithm
 @dataclass(frozen=True)
 class _State:
     n: int
-    my_id: Optional[str]
-    best: Optional[str]
+    my_id: str | None
+    best: str | None
     round_number: int
-    output: Optional[str]
+    output: str | None
 
 
 class MonteCarloElection(AnonymousAlgorithm):
@@ -96,7 +95,7 @@ class MonteCarloElection(AnonymousAlgorithm):
             output=None,
         )
 
-    def output(self, state: _State) -> Optional[str]:
+    def output(self, state: _State) -> str | None:
         return state.output
 
 

@@ -35,24 +35,23 @@ divergence becomes visible within two rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.algorithms.bitstrings import prefix_related
 from repro.runtime.algorithm import AnonymousAlgorithm
 
-ColorEntry = Tuple[str, bool]  # (bitstring color, committed flag)
+ColorEntry = tuple[str, bool]  # (bitstring color, committed flag)
 
 
 @dataclass(frozen=True)
 class _State:
     color: str
     committed: bool
-    output: Optional[str]
+    output: str | None
     round_number: int
     # My (color, committed) one round ago — what neighbors echo back at me.
     prev_entry: ColorEntry
     # Neighbor entries heard this round; broadcast next round for 2-hop info.
-    heard: Tuple[ColorEntry, ...]
+    heard: tuple[ColorEntry, ...]
 
 
 class TwoHopColoringAlgorithm(AnonymousAlgorithm):
@@ -80,7 +79,7 @@ class TwoHopColoringAlgorithm(AnonymousAlgorithm):
 
     def transition(self, state: _State, received, bits: str) -> _State:
         round_number = state.round_number + 1
-        heard_now: Tuple[ColorEntry, ...] = tuple(
+        heard_now: tuple[ColorEntry, ...] = tuple(
             (color, committed) for (color, committed, _lists) in received
         )
 

@@ -11,7 +11,6 @@ prefix-permanence argument.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.algorithms.bitstrings import prefix_related
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -21,7 +20,7 @@ from repro.runtime.algorithm import AnonymousAlgorithm
 class _State:
     color: str
     committed: bool
-    output: Optional[str]
+    output: str | None
     round_number: int
 
 

@@ -19,7 +19,6 @@ the experiment sweep exhibit the boundary empirically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
 from repro.factor.factorizing_map import FactorizingMap
@@ -58,7 +57,7 @@ def uniform_cycle_cover(factor_size: int, multiplier: int) -> FactorizingMap:
 
 def lifted_khop_violation(
     covering: FactorizingMap,
-    algorithm: Optional[AnonymousAlgorithm] = None,
+    algorithm: AnonymousAlgorithm | None = None,
     seed: int = 0,
     max_k: int = 6,
 ) -> KHopViolation:
@@ -80,7 +79,7 @@ def lifted_khop_violation(
         raise AssertionError(
             "lifted simulation was unsuccessful; the lifting lemma is broken"
         )
-    outputs: Dict = product_result.outputs
+    outputs: dict = product_result.outputs
     valid_up_to = 0
     for k in range(1, max_k + 1):
         if is_k_hop_coloring(covering.product, outputs, k):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -32,7 +32,7 @@ class SuccessCurve:
     algorithm_name: str
     graph_nodes: int
     samples_per_length: int
-    points: Tuple[Tuple[int, float], ...]
+    points: tuple[tuple[int, float], ...]
 
     def probability_at(self, t: int) -> float:
         for length, probability in self.points:
@@ -63,7 +63,7 @@ def measure_success_curve(
 ) -> SuccessCurve:
     """Sample random assignments per length and measure success rates."""
     rng = random.Random(seed)
-    points: List[Tuple[int, float]] = []
+    points: list[tuple[int, float]] = []
     for t in lengths:
         successes = 0
         for _ in range(samples_per_length):

@@ -7,7 +7,7 @@ payloads are abbreviated so tables stay scannable.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any
 
 from repro.graphs.labeled_graph import _sort_key
 from repro.runtime.trace import ExecutionTrace
@@ -23,7 +23,7 @@ def _abbreviate(value: Any, width: int = 18) -> str:
 def render_trace(trace: ExecutionTrace, max_rounds: int | None = None) -> str:
     """A table with one row per (round, node): message sent, bits drawn,
     and the output if it became set that round."""
-    lines: List[str] = [f"execution of {trace.algorithm_name!r}"]
+    lines: list[str] = [f"execution of {trace.algorithm_name!r}"]
     rounds = trace.rounds if max_rounds is None else trace.rounds[:max_rounds]
     if not rounds:
         lines.append("(no rounds executed)")

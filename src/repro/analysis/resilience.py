@@ -21,13 +21,14 @@ family tabulates per graph family.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.faults.harness import execute_with_faults
 from repro.faults.plan import FaultPlan
 from repro.graphs.labeled_graph import LabeledGraph, Node
 
-Validator = Callable[[LabeledGraph, Dict[Node, Any]], bool]
+Validator = Callable[[LabeledGraph, dict[Node, Any]], bool]
 
 
 @dataclass(frozen=True)
@@ -37,9 +38,9 @@ class ResilienceOutcome:
     status: str  # "ok" | "invalid" | "undecided" | "error"
     rounds: int
     faults_injected: int
-    fault_counts: Tuple[Tuple[str, int], ...]
-    error: Optional[str] = None
-    outputs: Optional[Dict[Node, Any]] = None
+    fault_counts: tuple[tuple[str, int], ...]
+    error: str | None = None
+    outputs: dict[Node, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -91,7 +92,7 @@ def probe(
 def first_break(
     intensities: Sequence[float],
     outcomes: Sequence[ResilienceOutcome],
-) -> Optional[float]:
+) -> float | None:
     """The smallest intensity whose outcome is not ``"ok"`` (``None`` if
     the whole sweep survived).  ``intensities`` and ``outcomes`` are
     parallel, in increasing-intensity order."""
@@ -107,7 +108,7 @@ def first_break(
 
 def independence_preserved(
     graph: LabeledGraph,
-    outputs: Dict[Node, Any],
+    outputs: dict[Node, Any],
     exclude: Sequence[Node] = (),
 ) -> bool:
     """No two adjacent non-excluded nodes both claim MIS membership.
@@ -129,7 +130,7 @@ def independence_preserved(
 
 def two_hop_distinct_among(
     graph: LabeledGraph,
-    outputs: Dict[Node, Any],
+    outputs: dict[Node, Any],
     exclude: Sequence[Node] = (),
 ) -> bool:
     """2-hop coloring validity restricted to non-excluded, decided nodes:

@@ -8,7 +8,7 @@ volume.  :func:`aggregate` summarizes repetitions (mean / min / max).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.scheduler import ExecutionResult
@@ -68,7 +68,7 @@ class Aggregate:
 
 def collect_run_stats(
     graph: LabeledGraph, results: Iterable[ExecutionResult], bits_per_round: int
-) -> List[RunStats]:
+) -> list[RunStats]:
     return [RunStats.of(graph, result, bits_per_round) for result in results]
 
 
@@ -89,7 +89,7 @@ def aggregate(stats: Iterable[RunStats]) -> Aggregate:
 
 def round_distribution(
     rounds: Iterable[int],
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Percentile summary of round counts across repeated runs."""
     values = sorted(rounds)
     if not values:

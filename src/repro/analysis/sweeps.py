@@ -17,7 +17,8 @@ bit-identical by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.graphs.builders import (
     complete_graph,
@@ -38,10 +39,10 @@ class SweepRow:
     """One row of an experiment table: a label plus named values."""
 
     label: str
-    values: Dict[str, Any]
+    values: dict[str, Any]
 
 
-_FAMILY_BUILDERS: Dict[str, Callable[..., LabeledGraph]] = {
+_FAMILY_BUILDERS: dict[str, Callable[..., LabeledGraph]] = {
     "cycle": cycle_graph,
     "path": path_graph,
     "complete": complete_graph,
@@ -67,7 +68,7 @@ class FamilySpec:
 
     name: str
     builder: str
-    args: Tuple[Any, ...] = field(default=())
+    args: tuple[Any, ...] = field(default=())
     size: int = 0
 
     def build(self) -> LabeledGraph:
@@ -84,9 +85,9 @@ def standard_family_specs(
     sizes: Sequence[int] = (4, 6, 8, 12),
     include_random: bool = True,
     seed: int = 7,
-) -> List[FamilySpec]:
+) -> list[FamilySpec]:
     """The standard sweep as picklable specs, in sweep order."""
-    specs: List[FamilySpec] = []
+    specs: list[FamilySpec] = []
     for n in sizes:
         if n >= 3:
             specs.append(FamilySpec(f"cycle-{n}", "cycle", (n,), n))
@@ -108,7 +109,7 @@ def standard_families(
     sizes: Sequence[int] = (4, 6, 8, 12),
     include_random: bool = True,
     seed: int = 7,
-) -> Iterator[Tuple[str, LabeledGraph]]:
+) -> Iterator[tuple[str, LabeledGraph]]:
     """Yield ``(name, graph)`` pairs covering the standard sweep families,
     each with a uniform well-formed input layer attached."""
     for spec in standard_family_specs(sizes, include_random, seed):

@@ -13,7 +13,6 @@ election is ruled out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.views.refinement import color_refinement
@@ -25,7 +24,7 @@ class ViewClassProfile:
 
     num_nodes: int
     num_classes: int
-    class_sizes: Tuple[int, ...]
+    class_sizes: tuple[int, ...]
 
     @property
     def is_view_symmetric(self) -> bool:
@@ -41,7 +40,7 @@ class ViewClassProfile:
 def view_class_profile(graph: LabeledGraph) -> ViewClassProfile:
     """The view-class profile of a labeled graph."""
     classes = color_refinement(graph).classes
-    sizes: Dict[int, int] = {}
+    sizes: dict[int, int] = {}
     for v in graph.nodes:
         sizes[classes[v]] = sizes.get(classes[v], 0) + 1
     return ViewClassProfile(

@@ -28,7 +28,7 @@ than by simulating the randomized decider to exhaustion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from repro.exceptions import DerandomizationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -50,7 +50,7 @@ class AStarDiagnostics:
     message_rounds: int = 0  # sum of p over executed phases (flooding cost)
     candidates_enumerated: int = 0
     simulations_run: int = 0
-    phase_selections: List[Tuple[int, int, str]] = field(default_factory=list)
+    phase_selections: list[tuple[int, int, str]] = field(default_factory=list)
     # (phase, |V̂_*| of the selection, its encoding) — empty-F phases absent
 
 
@@ -58,9 +58,9 @@ class AStarDiagnostics:
 class _PhaseOutcome:
     """What one distinct view computes in one phase."""
 
-    output: Optional[Any]
-    new_bits: Optional[str]
-    selection: Optional[Candidate]
+    output: Any | None
+    new_bits: str | None
+    selection: Candidate | None
 
 
 class AStarSolver:
@@ -91,7 +91,7 @@ class AStarSolver:
 
     def solve(
         self, instance: LabeledGraph, max_phases: int = 32
-    ) -> Tuple[Dict[Node, Any], AStarDiagnostics]:
+    ) -> tuple[dict[Node, Any], AStarDiagnostics]:
         """Run A_* on a Π^c instance until every node holds an output.
 
         Returns the (deterministic) output labeling and diagnostics.
@@ -108,8 +108,8 @@ class AStarSolver:
 
         _require_two_hop_colored(instance, self.color_layer)
         diagnostics = AStarDiagnostics()
-        bits: Dict[Node, str] = {v: "" for v in instance.nodes}
-        outputs: Dict[Node, Any] = {}
+        bits: dict[Node, str] = {v: "" for v in instance.nodes}
+        outputs: dict[Node, Any] = {}
         layer_names = (self.input_layer, self.color_layer, self.bits_layer)
 
         for phase in range(1, max_phases + 1):
@@ -119,7 +119,7 @@ class AStarSolver:
             current = current.with_only_layers(list(layer_names))
             views = all_views(current, phase)
 
-            outcome_by_view: Dict[int, _PhaseOutcome] = {}
+            outcome_by_view: dict[int, _PhaseOutcome] = {}
             for v in current.nodes:
                 view = views[v]
                 if id(view) not in outcome_by_view:
@@ -152,7 +152,7 @@ class AStarSolver:
         self,
         view: ViewTree,
         phase: int,
-        layer_names: Tuple[str, str, str],
+        layer_names: tuple[str, str, str],
         diagnostics: AStarDiagnostics,
     ) -> _PhaseOutcome:
         # Update-Graph ------------------------------------------------
@@ -177,7 +177,7 @@ class AStarSolver:
         anchor_class = selection.anchor_class
 
         # Update-Output -----------------------------------------------
-        output: Optional[Any] = None
+        output: Any | None = None
         diagnostics.simulations_run += 1
         simulation = execute(
             self.algorithm, simulation_graph, assignment=recorded_bits
@@ -186,7 +186,7 @@ class AStarSolver:
             output = simulation.outputs[anchor_class]
 
         # Update-Bits -------------------------------------------------
-        new_bits: Optional[str] = None
+        new_bits: str | None = None
         node_order = canonical_node_order(fvg)
         extension = smallest_successful_extension(
             self.algorithm,

@@ -21,14 +21,14 @@ experiment quantifies the difference.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, Mapping, Optional, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.exceptions import DerandomizationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.runtime.algorithm import AnonymousAlgorithm
 from repro.runtime.engine import execute
 
-Assignment = Dict[Node, str]
+Assignment = dict[Node, str]
 
 
 class SearchBudgetExceeded(DerandomizationError):
@@ -41,7 +41,7 @@ def enumerate_extensions(
     target_length: int,
     strategy: str = "lexicographic",
     prg_seed: int = 0,
-    limit: Optional[int] = None,
+    limit: int | None = None,
 ) -> Iterator[Assignment]:
     """Yield the ``target_length``-extensions of ``prefix`` in a
     predetermined total order.
@@ -109,7 +109,7 @@ def smallest_successful_extension(
     target_length: int,
     budget: int = 1_000_000,
     strategy: str = "lexicographic",
-) -> Optional[Assignment]:
+) -> Assignment | None:
     """The first successful ``target_length``-extension of ``prefix`` in the
     chosen predetermined order, or ``None`` when no extension of this
     length succeeds.  Raises :class:`SearchBudgetExceeded` when the
@@ -163,7 +163,7 @@ def smallest_successful_assignment(
             algorithm, graph, node_order, max_length=max_length, budget=budget
         )
     remaining = budget
-    empty: Dict[Node, str] = {v: "" for v in node_order}
+    empty: dict[Node, str] = {v: "" for v in node_order}
     for target_length in range(1, max_length + 1):
         try:
             found = smallest_successful_extension(
@@ -204,7 +204,7 @@ def _prg_assignment_search(
     budget: int,
     trials_per_length: int = 128,
 ) -> Assignment:
-    empty: Dict[Node, str] = {v: "" for v in node_order}
+    empty: dict[Node, str] = {v: "" for v in node_order}
     tried = 0
     target_length = 4
     while target_length <= max_length:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 from repro.exceptions import CandidateError, FactorError, GraphError
 from repro.factor.quotient import finite_view_graph
@@ -53,19 +53,19 @@ class Candidate:
     finite_view: LabeledGraph
     anchor: Node
     anchor_class: int
-    sort_key: Tuple[int, str]
+    sort_key: tuple[int, str]
 
 
-def observed_marks(view: ViewTree) -> List[Tuple]:
+def observed_marks(view: ViewTree) -> list[tuple]:
     """The distinct marks appearing anywhere in a view, in a canonical
     order — the complete label alphabet of any candidate."""
-    marks: Dict[str, Tuple] = {}
+    marks: dict[str, tuple] = {}
     for subtree in view.subtrees():
         marks.setdefault(repr(subtree.mark), subtree.mark)
     return [marks[key] for key in sorted(marks)]
 
 
-def _connected_edge_sets(k: int) -> Iterator[List[Tuple[int, int]]]:
+def _connected_edge_sets(k: int) -> Iterator[list[tuple[int, int]]]:
     """All connected simple graphs on nodes ``0..k-1`` (as edge lists),
     enumerated over subsets of the complete graph's edges."""
     pairs = list(itertools.combinations(range(k), 2))
@@ -80,8 +80,8 @@ def _connected_edge_sets(k: int) -> Iterator[List[Tuple[int, int]]]:
             yield edges
 
 
-def _edges_connected(k: int, edges: Sequence[Tuple[int, int]]) -> bool:
-    adjacency: Dict[int, List[int]] = {v: [] for v in range(k)}
+def _edges_connected(k: int, edges: Sequence[tuple[int, int]]) -> bool:
+    adjacency: dict[int, list[int]] = {v: [] for v in range(k)}
     for u, v in edges:
         adjacency[u].append(v)
         adjacency[v].append(u)
@@ -103,7 +103,7 @@ def enumerate_candidates(
     layer_names: Sequence[str],
     max_nodes: int = 4,
     budget: int = 200_000,
-) -> List[Candidate]:
+) -> list[Candidate]:
     """All candidates for ``phase`` matching ``view``, one representative
     per distinct finite view graph, sorted by the finite-view-graph order.
 
@@ -117,7 +117,7 @@ def enumerate_candidates(
     marks = observed_marks(view)
     cap = min(phase, max_nodes)
     examined = 0
-    by_encoding: Dict[Tuple[int, str], Candidate] = {}
+    by_encoding: dict[tuple[int, str], Candidate] = {}
     for k in range(1, cap + 1):
         for edges in _connected_edge_sets(k):
             for labeling in itertools.product(marks, repeat=k):
@@ -136,14 +136,14 @@ def enumerate_candidates(
 
 
 def _try_candidate(
-    edges: List[Tuple[int, int]],
+    edges: list[tuple[int, int]],
     k: int,
-    labeling: Tuple[Tuple, ...],
+    labeling: tuple[tuple, ...],
     view: ViewTree,
     phase: int,
     problem_c: DistributedProblem,
     layer_names: Sequence[str],
-) -> Optional[Candidate]:
+) -> Candidate | None:
     # Cheap pre-filters before paying for graph + view construction:
     # C2's anchor must reproduce the view's root, so some node must carry
     # the root's mark with the root's degree; and every mark must come
@@ -161,7 +161,7 @@ def _try_candidate(
     ):
         return None
 
-    layers: Dict[str, Dict[int, object]] = {name: {} for name in layer_names}
+    layers: dict[str, dict[int, object]] = {name: {} for name in layer_names}
     for node_id, mark in enumerate(labeling):
         if not isinstance(mark, tuple) or len(mark) != len(layer_names):
             return None
@@ -174,7 +174,7 @@ def _try_candidate(
 
     # C2: find an anchor whose depth-`phase` view equals the observed one.
     views = all_views(graph, phase)
-    anchor: Optional[int] = None
+    anchor: int | None = None
     for node_id in graph.nodes:
         if views[node_id] is view:
             anchor = node_id

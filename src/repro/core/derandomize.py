@@ -18,7 +18,7 @@ coloring, followed by a problem-specific deterministic stage."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any
 
 from repro.exceptions import ProblemError
 from repro.algorithms.two_hop_coloring import TwoHopColoringAlgorithm
@@ -33,8 +33,8 @@ from repro.core.practical import PracticalDerandomizer, PracticalResult
 class PipelineResult:
     """Outcome and accounting of the two-stage pipeline."""
 
-    outputs: Dict[Node, Any]
-    coloring: Dict[Node, str]
+    outputs: dict[Node, Any]
+    coloring: dict[Node, str]
     stage1_rounds: int
     stage1_bits: int
     stage2: PracticalResult

@@ -19,7 +19,7 @@ both facts at runtime and raises if the input breaks them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any
 
 from repro.exceptions import DerandomizationError
 from repro.factor.quotient import QuotientResult, finite_view_graph
@@ -59,9 +59,9 @@ class DerandomizationResult:
         Rounds of the selected successful simulation.
     """
 
-    outputs: Dict[Node, Any]
+    outputs: dict[Node, Any]
     quotient: QuotientResult
-    assignment: Dict[Node, str]
+    assignment: dict[Node, str]
     simulation_rounds: int
 
 

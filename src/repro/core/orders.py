@@ -17,7 +17,7 @@ computing the *same* orders:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.exceptions import DerandomizationError
 from repro.graphs.encoding import encode_ordered_graph
@@ -25,7 +25,7 @@ from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.views.refinement import color_refinement
 
 
-def canonical_node_order(graph: LabeledGraph) -> List[Node]:
+def canonical_node_order(graph: LabeledGraph) -> list[Node]:
     """The canonical total order on the nodes of a *prime* labeled graph.
 
     Nodes are ordered by their canonical view aliases; since the graph is
@@ -47,7 +47,7 @@ def canonical_node_order(graph: LabeledGraph) -> List[Node]:
 
 def assignment_sort_key(
     assignment: Mapping[Node, str], node_order: Sequence[Node]
-) -> Tuple[int, Tuple[str, ...]]:
+) -> tuple[int, tuple[str, ...]]:
     """Sort key realizing the paper's total order on uniform-length
     assignments: ``b_1 < b_2`` iff ``t_1 < t_2``, or ``t_1 = t_2`` and
     ``(b_1(w_1), ..., b_1(w_k)) <lex (b_2(w_1), ..., b_2(w_k))``."""
@@ -63,7 +63,7 @@ def assignment_sort_key(
     return (lengths.pop(), tuple(assignment[v] for v in node_order))
 
 
-def finite_view_graph_sort_key(graph: LabeledGraph) -> Tuple[int, str]:
+def finite_view_graph_sort_key(graph: LabeledGraph) -> tuple[int, str]:
     """Sort key realizing the order on finite view graphs: ``G_* < G'_*``
     iff ``|V_*| < |V'_*|``, or equal sizes and ``s(G_*) < s(G'_*)``.
 
@@ -74,6 +74,6 @@ def finite_view_graph_sort_key(graph: LabeledGraph) -> Tuple[int, str]:
     return (graph.num_nodes, encode_ordered_graph(graph, order))
 
 
-def view_order_of_nodes(graph: LabeledGraph) -> Dict[Node, int]:
+def view_order_of_nodes(graph: LabeledGraph) -> dict[Node, int]:
     """Each node's position in the canonical node order (prime graphs)."""
     return {v: i for i, v in enumerate(canonical_node_order(graph))}

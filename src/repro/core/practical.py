@@ -24,7 +24,8 @@ knows ``n``; it pays for that with the enumeration this class skips).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 from repro.exceptions import DerandomizationError, ViewError
 from repro.graphs.encoding import encode_ordered_graph
@@ -72,10 +73,10 @@ def quotient_from_view(
     # of walk vertices is exponential; the number of distinct subtrees is
     # not), tracking the smallest level each subtree was reached at so
     # expansion depth is never underestimated.
-    aliases: List[ViewTree] = []
+    aliases: list[ViewTree] = []
     seen_alias: set = set()
-    best_level: Dict[int, int] = {}
-    frontier: List[Tuple[ViewTree, int]] = [(view, 1)]
+    best_level: dict[int, int] = {}
+    frontier: list[tuple[ViewTree, int]] = [(view, 1)]
     while frontier:
         tree, level = frontier.pop()
         if best_level.get(id(tree), radius + 1) <= level:
@@ -118,7 +119,7 @@ def quotient_from_view(
                 )
             edges.add(frozenset((my_index, other_index)))
 
-    layers: Dict[str, Dict[int, Any]] = {name: {} for name in layer_names}
+    layers: dict[str, dict[int, Any]] = {name: {} for name in layer_names}
     for alias in aliases:
         mark = alias.mark
         if not isinstance(mark, tuple) or len(mark) != len(layer_names):
@@ -191,7 +192,7 @@ class PracticalDerandomizer:
         layer_names = (self.input_layer, self.color_layer)
 
         # Per-node reconstruction + agreement check (Lemma 1 in action).
-        reconstructions: Dict[int, LabeledGraph] = {}
+        reconstructions: dict[int, LabeledGraph] = {}
         encodings: set = set()
         for v in working.nodes:
             view = views[v]

@@ -25,7 +25,7 @@ on which case, so bundle authors can iterate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.exceptions import ReproError
 from repro.factor.factorizing_map import FactorizingMap
@@ -56,13 +56,13 @@ class ConformanceReport:
     """All outcomes of a conformance run."""
 
     bundle_name: str
-    outcomes: List[CheckOutcome] = field(default_factory=list)
+    outcomes: list[CheckOutcome] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return all(outcome.passed for outcome in self.outcomes)
 
-    def failures(self) -> List[CheckOutcome]:
+    def failures(self) -> list[CheckOutcome]:
         return [outcome for outcome in self.outcomes if not outcome.passed]
 
     def summary(self) -> str:
@@ -80,8 +80,8 @@ class ConformanceReport:
 
 def check_gran_bundle(
     bundle: GranBundle,
-    instances: Sequence[Tuple[str, LabeledGraph]],
-    non_instances: Sequence[Tuple[str, LabeledGraph]] = (),
+    instances: Sequence[tuple[str, LabeledGraph]],
+    non_instances: Sequence[tuple[str, LabeledGraph]] = (),
     seeds: Iterable[int] = (0, 1, 2),
     lift_fiber: int = 2,
     derandomize: bool = True,

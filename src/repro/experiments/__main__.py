@@ -19,13 +19,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 from repro.experiments.base import all_experiment_ids, get_spec
 from repro.experiments.runner import run_experiments, write_results_json
 
 
-def _select_ids(args: argparse.Namespace) -> Optional[List[str]]:
+def _select_ids(args: argparse.Namespace) -> list[str] | None:
     """The experiment ids a CLI invocation asks for, or None for 'help'."""
     if args.experiments:
         ids = list(args.experiments)
@@ -38,7 +37,7 @@ def _select_ids(args: argparse.Namespace) -> Optional[List[str]]:
     return ids
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description=(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from repro.graphs.builders import cycle_graph, with_uniform_input
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
@@ -15,7 +14,7 @@ def colored(graph: LabeledGraph) -> LabeledGraph:
     return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
 
 
-def lifted_colored_c3(fiber: int) -> Tuple[LabeledGraph, LabeledGraph, Dict[Node, Node]]:
+def lifted_colored_c3(fiber: int) -> tuple[LabeledGraph, LabeledGraph, dict[Node, Node]]:
     """The Figure 2 family: a 2-hop colored C3 and its cyclic lift."""
     base = colored(with_uniform_input(cycle_graph(3)))
     lift, projection = cyclic_lift(base, fiber)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.analysis.sweeps import SweepRow, format_table
 from repro.exceptions import ReproError
@@ -37,8 +37,8 @@ class ExperimentResult:
     experiment_id: str
     title: str
     columns: Sequence[str]
-    rows: List[SweepRow]
-    checks: Dict[str, bool] = field(default_factory=dict)
+    rows: list[SweepRow]
+    checks: dict[str, bool] = field(default_factory=dict)
     preamble: str = ""
 
     @property
@@ -93,7 +93,7 @@ class ExperimentSpec:
         return self.fn()
 
 
-_REGISTRY: Dict[str, ExperimentSpec] = {}
+_REGISTRY: dict[str, ExperimentSpec] = {}
 
 
 def experiment(experiment_id: str, *, cost: float = 1.0, family: str = ""):
@@ -124,7 +124,7 @@ def experiment(experiment_id: str, *, cost: float = 1.0, family: str = ""):
     return register
 
 
-def all_experiment_ids() -> List[str]:
+def all_experiment_ids() -> list[str]:
     return sorted(_REGISTRY)
 
 
@@ -141,16 +141,16 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     return get_spec(experiment_id).fn
 
 
-def all_specs() -> List[ExperimentSpec]:
+def all_specs() -> list[ExperimentSpec]:
     """Every registered experiment spec, in id order."""
     return [_REGISTRY[eid] for eid in all_experiment_ids()]
 
 
-def all_families() -> List[str]:
+def all_families() -> list[str]:
     """Every registered experiment family, sorted."""
     return sorted({spec.family for spec in _REGISTRY.values()})
 
 
-def run_all() -> List[ExperimentResult]:
+def run_all() -> list[ExperimentResult]:
     """Run every registered experiment, in id order."""
     return [_REGISTRY[eid].fn() for eid in all_experiment_ids()]

@@ -4,7 +4,6 @@ impossibility, fibrations, and port emulation."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.algorithms.monte_carlo_election import (
     MonteCarloElection,
@@ -241,7 +240,7 @@ def fibrations() -> ExperimentResult:
 
 @dataclass(frozen=True)
 class _LedgerState:
-    ledger: Tuple
+    ledger: tuple
     round_number: int
 
 

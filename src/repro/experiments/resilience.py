@@ -23,7 +23,7 @@ across runs, job counts and machines, like every other registry entry.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from repro.algorithms.greedy_by_color import GreedyMISByColor
 from repro.algorithms.luby_mis import AnonymousMISAlgorithm
@@ -57,15 +57,15 @@ REORDER_RATES = (0.0, 0.25, 0.5)
 SEEDS = (0, 1, 2)
 
 
-def _status_summary(outcomes: List[ResilienceOutcome]) -> str:
+def _status_summary(outcomes: list[ResilienceOutcome]) -> str:
     """Compact multi-seed status cell, e.g. ``"ok:2 error:1"``."""
-    counts: Dict[str, int] = {}
+    counts: dict[str, int] = {}
     for outcome in outcomes:
         counts[outcome.status] = counts.get(outcome.status, 0) + 1
     return " ".join(f"{status}:{n}" for status, n in sorted(counts.items()))
 
 
-def _fmt_break(rate: Optional[float]) -> str:
+def _fmt_break(rate: float | None) -> str:
     return "-" if rate is None else f"{rate:g}"
 
 
@@ -81,8 +81,8 @@ def resilience_drop() -> ExperimentResult:
     ]
     rows, checks = [], {}
     for name, graph in families:
-        worst_by_rate: List[ResilienceOutcome] = []
-        cells: Dict[str, Any] = {"n": graph.num_nodes}
+        worst_by_rate: list[ResilienceOutcome] = []
+        cells: dict[str, Any] = {"n": graph.num_nodes}
         injected_total = 0
         for rate in DROP_RATES:
             outcomes = []
@@ -142,13 +142,13 @@ def resilience_crash() -> ExperimentResult:
     rows, checks = [], {}
     for name, graph in families:
         first, second = graph.nodes[0], graph.nodes[len(graph.nodes) // 2]
-        schedules: List[Tuple[str, Tuple[Tuple[Node, int], ...]]] = [
+        schedules: list[tuple[str, tuple[tuple[Node, int], ...]]] = [
             ("none", ()),
             ("v0@r1", ((first, 1),)),
             ("v0@r2", ((first, 2),)),
             ("two@r2,r3", ((first, 2), (second, 3))),
         ]
-        cells: Dict[str, Any] = {"n": graph.num_nodes}
+        cells: dict[str, Any] = {"n": graph.num_nodes}
         for label, crashes in schedules:
             crashed_nodes = [v for v, _ in crashes]
             try:
@@ -205,7 +205,7 @@ def resilience_corrupt() -> ExperimentResult:
     for name, graph, seed in cases:
         seeded = execute(algorithm, graph, seed=seed, require_decided=True)
         assignment = seeded.trace.assignment()
-        cells: Dict[str, Any] = {"n": graph.num_nodes}
+        cells: dict[str, Any] = {"n": graph.num_nodes}
         outcomes = []
         for rate in CORRUPT_RATES:
             plan = FaultPlan(plan_seed=7, corrupt_rate=rate)
@@ -253,18 +253,18 @@ class PortLedgerAlgorithm(PortAwareAlgorithm):
     def __init__(self, rounds_needed: int) -> None:
         self.rounds_needed = rounds_needed
 
-    def init_state(self, input_label: Any, degree: int) -> Tuple[Tuple, int]:
+    def init_state(self, input_label: Any, degree: int) -> tuple[tuple, int]:
         return ((), 0)
 
-    def messages(self, state: Tuple[Tuple, int], degree: int) -> List[Any]:
+    def messages(self, state: tuple[tuple, int], degree: int) -> list[Any]:
         return [(state[1], port) for port in range(degree)]
 
     def transition(
-        self, state: Tuple[Tuple, int], received: Tuple[Any, ...], bits: str
-    ) -> Tuple[Tuple, int]:
+        self, state: tuple[tuple, int], received: tuple[Any, ...], bits: str
+    ) -> tuple[tuple, int]:
         return (state[0] + (tuple(repr(r) for r in received),), state[1] + 1)
 
-    def output(self, state: Tuple[Tuple, int]) -> Optional[Tuple]:
+    def output(self, state: tuple[tuple, int]) -> tuple | None:
         return state[0] if state[1] >= self.rounds_needed else None
 
 
@@ -281,11 +281,11 @@ def resilience_reorder() -> ExperimentResult:
         bare = execute(algorithm, graph, max_rounds=6)
 
         def matches_bare(
-            g: LabeledGraph, outputs: Dict[Node, Any], _bare=bare
+            g: LabeledGraph, outputs: dict[Node, Any], _bare=bare
         ) -> bool:
             return outputs == _bare.outputs
 
-        cells: Dict[str, Any] = {"n": graph.num_nodes}
+        cells: dict[str, Any] = {"n": graph.num_nodes}
         outcomes = []
         reorder_events = 0
         for rate in REORDER_RATES:

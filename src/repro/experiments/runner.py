@@ -41,16 +41,8 @@ import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from repro.analysis.sweeps import FamilySpec, SweepRow
 from repro.experiments.base import ExperimentResult, all_experiment_ids, get_spec
@@ -104,7 +96,7 @@ class ExperimentRun:
     wall_s: float
     worker_pid: int
     mode: str  # "serial" | "parallel"
-    engine_metrics: Optional[Dict[str, Any]] = None
+    engine_metrics: dict[str, Any] | None = None
 
 
 @dataclass
@@ -124,10 +116,10 @@ class FamilyOutcome:
 class RunReport:
     """Everything one engine invocation produced."""
 
-    runs: List[ExperimentRun]
+    runs: list[ExperimentRun]
     requested_jobs: int
     base_seed: int
-    fallback_reason: Optional[str] = None
+    fallback_reason: str | None = None
     wall_s: float = 0.0
 
     @property
@@ -140,7 +132,7 @@ class RunReport:
     def all_passed(self) -> bool:
         return all(run.result.passed for run in self.runs)
 
-    def results(self) -> List[ExperimentResult]:
+    def results(self) -> list[ExperimentResult]:
         return [run.result for run in self.runs]
 
 
@@ -167,26 +159,27 @@ def _worker_init() -> None:
     clear_caches()
 
 
-def _run_experiment_task(payload: Tuple[str, int]) -> Tuple[str, Any]:
+def _run_experiment_task(payload: tuple[str, int]) -> tuple[str, Any]:
     """Run one registered experiment; returns ``(experiment_id, outcome)``."""
     experiment_id, seed = payload
     import repro.experiments  # noqa: F401  (registration on spawn)
 
-    start = time.perf_counter()
+    # Wall-clock fields are stripped from canonical_results (timing only).
+    start = time.perf_counter()  # repro-lint: disable=DET001 -- wall-time metric only
     with collect_engine_metrics() as totals:
         result = get_spec(experiment_id).run(seed=seed)
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro-lint: disable=DET001 -- wall-time metric only
     return experiment_id, (result, wall, os.getpid(), totals.as_dict())
 
 
 def _run_family_task(
-    payload: Tuple[str, Callable[[str, Any, int], Any], FamilySpec, int],
-) -> Tuple[str, Any]:
+    payload: tuple[str, Callable[[str, Any, int], Any], FamilySpec, int],
+) -> tuple[str, Any]:
     """Realize one family spec and apply the task callable to it."""
     name, task, spec, seed = payload
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=DET001 -- wall-time metric only
     value = task(spec.name, spec.build(), seed)
-    return name, (value, time.perf_counter() - start, os.getpid())
+    return name, (value, time.perf_counter() - start, os.getpid())  # repro-lint: disable=DET001 -- wall-time metric only
 
 
 # ---------------------------------------------------------------------------
@@ -207,12 +200,12 @@ def _chunk_size(task_count: int, jobs: int) -> int:
 
 
 def _execute(
-    payloads: Sequence[Tuple[Any, ...]],
-    worker: Callable[[Any], Tuple[str, Any]],
+    payloads: Sequence[tuple[Any, ...]],
+    worker: Callable[[Any], tuple[str, Any]],
     jobs: int,
-    chunk_size: Optional[int],
-    executor_factory: Optional[Callable[[int], Any]],
-) -> Tuple[Dict[str, Any], Dict[str, str], Optional[str]]:
+    chunk_size: int | None,
+    executor_factory: Callable[[int], Any] | None,
+) -> tuple[dict[str, Any], dict[str, str], str | None]:
     """Run ``worker`` over ``payloads``; returns (outcomes, modes, reason).
 
     ``payloads`` are dispatched in the given order; each payload's first
@@ -221,9 +214,9 @@ def _execute(
     a task that *itself* raises will raise again serially, so the
     parallel path introduces no new failure modes.
     """
-    outcomes: Dict[str, Any] = {}
-    modes: Dict[str, str] = {}
-    fallback_reason: Optional[str] = None
+    outcomes: dict[str, Any] = {}
+    modes: dict[str, str] = {}
+    fallback_reason: str | None = None
 
     if jobs > 1 and len(payloads) > 1:
         factory = executor_factory or _default_executor_factory
@@ -246,12 +239,12 @@ def _execute(
 
 
 def run_experiments(
-    experiment_ids: Optional[Iterable[str]] = None,
+    experiment_ids: Iterable[str] | None = None,
     *,
     jobs: int = 1,
     base_seed: int = 0,
-    chunk_size: Optional[int] = None,
-    executor_factory: Optional[Callable[[int], Any]] = None,
+    chunk_size: int | None = None,
+    executor_factory: Callable[[int], Any] | None = None,
 ) -> RunReport:
     """Run experiments (all of them by default), possibly in parallel.
 
@@ -267,11 +260,11 @@ def run_experiments(
     dispatch = sorted(specs, key=lambda spec: (-spec.cost, spec.experiment_id))
     payloads = [(spec.experiment_id, seeds[spec.experiment_id]) for spec in dispatch]
 
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=DET001 -- wall-time metric only
     outcomes, modes, fallback_reason = _execute(
         payloads, _run_experiment_task, jobs, chunk_size, executor_factory
     )
-    wall_s = time.perf_counter() - start
+    wall_s = time.perf_counter() - start  # repro-lint: disable=DET001 -- wall-time metric only
 
     runs = []
     for eid in ids:
@@ -301,9 +294,9 @@ def map_families(
     *,
     jobs: int = 1,
     base_seed: int = 0,
-    chunk_size: Optional[int] = None,
-    executor_factory: Optional[Callable[[int], Any]] = None,
-) -> List[FamilyOutcome]:
+    chunk_size: int | None = None,
+    executor_factory: Callable[[int], Any] | None = None,
+) -> list[FamilyOutcome]:
     """Apply ``task(name, graph, seed)`` to every family spec.
 
     ``task`` must be a picklable top-level callable.  Each task's seed
@@ -358,14 +351,14 @@ def _jsonify(value: Any) -> Any:
     return repr(value)
 
 
-def _row_payload(row: SweepRow) -> Dict[str, Any]:
+def _row_payload(row: SweepRow) -> dict[str, Any]:
     return {
         "label": row.label,
         "values": {key: _jsonify(val) for key, val in row.values.items()},
     }
 
 
-def results_payload(report: RunReport) -> Dict[str, Any]:
+def results_payload(report: RunReport) -> dict[str, Any]:
     """The full JSON artifact for a run (mirrors ``BENCH_views.json``)."""
     return {
         "schema": RESULTS_SCHEMA,
@@ -403,7 +396,7 @@ def results_payload(report: RunReport) -> Dict[str, Any]:
     }
 
 
-def canonical_results(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+def canonical_results(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """The deterministic portion of an artifact: per-experiment rows and
     checks with machine/engine/timing/metrics stripped.  Serial and
     parallel runs of the same experiments must agree on this

@@ -16,7 +16,7 @@ case is a labeled isomorphism, and maps compose.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from collections.abc import Mapping
 
 from repro.exceptions import FactorError
 from repro.graphs.labeled_graph import LabeledGraph, Node, _sort_key
@@ -56,10 +56,10 @@ class FactorizingMap:
         except KeyError:
             raise FactorError(f"map is undefined on node {v!r}") from None
 
-    def as_dict(self) -> Dict[Node, Node]:
+    def as_dict(self) -> dict[Node, Node]:
         return dict(self._mapping)
 
-    def fiber(self, target: Node) -> Tuple[Node, ...]:
+    def fiber(self, target: Node) -> tuple[Node, ...]:
         """All product nodes mapping to ``target`` (sorted)."""
         if not self._factor.has_node(target):
             raise FactorError(f"unknown factor node {target!r}")

@@ -19,14 +19,14 @@ the SEC4 experiment can validate the correspondence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+from collections.abc import Mapping
 
 from repro.exceptions import FactorError, LabelingError
 from repro.graphs.coloring import is_two_hop_coloring
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.factor.factorizing_map import FactorizingMap
 
-DirectedEdge = Tuple[Node, Node]
+DirectedEdge = tuple[Node, Node]
 
 
 @dataclass(frozen=True)
@@ -38,14 +38,14 @@ class DirectedRepresentation:
     the edge coloring derived from the 2-hop node coloring.
     """
 
-    nodes: Tuple[Node, ...]
-    edges: FrozenSet[DirectedEdge]
-    edge_colors: Mapping[DirectedEdge, Tuple]
+    nodes: tuple[Node, ...]
+    edges: frozenset[DirectedEdge]
+    edge_colors: Mapping[DirectedEdge, tuple]
 
-    def out_edges(self, v: Node) -> List[DirectedEdge]:
+    def out_edges(self, v: Node) -> list[DirectedEdge]:
         return sorted((e for e in self.edges if e[0] == v), key=repr)
 
-    def in_edges(self, v: Node) -> List[DirectedEdge]:
+    def in_edges(self, v: Node) -> list[DirectedEdge]:
         return sorted((e for e in self.edges if e[1] == v), key=repr)
 
 
@@ -59,8 +59,8 @@ def directed_representation(
             f"layer {color_layer!r} is not a 2-hop coloring; the directed "
             "representation is only defined for 2-hop colored graphs"
         )
-    edges: Set[DirectedEdge] = set()
-    colors: Dict[DirectedEdge, Tuple] = {}
+    edges: set[DirectedEdge] = set()
+    colors: dict[DirectedEdge, tuple] = {}
     for u, v in graph.edges():
         edges.add((u, v))
         edges.add((v, u))

@@ -19,7 +19,8 @@ execution on a product is forced to be ``f``-symmetric).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.exceptions import SimulationError
 from repro.factor.factorizing_map import FactorizingMap
@@ -30,7 +31,7 @@ from repro.runtime.engine import ExecutionResult, execute
 
 def lift_assignment(
     factor_assignment: Mapping[Node, str], factorizing_map: FactorizingMap
-) -> Dict[Node, str]:
+) -> dict[Node, str]:
     """Lift a bit assignment on the factor to the product: ``b(v) = b'(f(v))``."""
     missing = [
         t for t in factorizing_map.factor.nodes if t not in factor_assignment
@@ -47,7 +48,7 @@ def lift_assignment(
 
 def lift_outputs_to_product(
     factor_outputs: Mapping[Node, Any], factorizing_map: FactorizingMap
-) -> Dict[Node, Any]:
+) -> dict[Node, Any]:
     """Pull factor outputs back to the product: ``o(v) = o'(f(v))``."""
     return {
         v: factor_outputs[factorizing_map(v)] for v in factorizing_map.product.nodes
@@ -56,13 +57,13 @@ def lift_outputs_to_product(
 
 def project_outputs(
     product_outputs: Mapping[Node, Any], factorizing_map: FactorizingMap
-) -> Dict[Node, Any]:
+) -> dict[Node, Any]:
     """Project product outputs onto the factor, requiring fiber-consistency.
 
     Raises :class:`SimulationError` if two nodes of one fiber disagree —
     which the lifting lemma says cannot happen for a lifted execution.
     """
-    projected: Dict[Node, Any] = {}
+    projected: dict[Node, Any] = {}
     for v, value in product_outputs.items():
         target = factorizing_map(v)
         if target in projected and projected[target] != value:

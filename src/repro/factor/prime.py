@@ -15,7 +15,6 @@ view-equivalence classes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import FactorError, GraphError
 from repro.factor.factorizing_map import FactorizingMap
@@ -36,7 +35,7 @@ def is_prime(graph: LabeledGraph) -> bool:
 
 def all_factors(
     graph: LabeledGraph, include_trivial: bool = False
-) -> List[FactorizingMap]:
+) -> list[FactorizingMap]:
     """All factorizing maps out of ``graph``, one per valid fiber partition.
 
     ``include_trivial`` adds the identity factorization.  Exhaustive —
@@ -48,7 +47,7 @@ def all_factors(
         )
     classes = color_refinement(graph).classes
     n = graph.num_nodes
-    results: List[FactorizingMap] = []
+    results: list[FactorizingMap] = []
     for fiber_size in _divisors(n):
         if fiber_size == 1:
             if include_trivial:
@@ -62,14 +61,14 @@ def all_factors(
     return results
 
 
-def prime_factors(graph: LabeledGraph) -> List[LabeledGraph]:
+def prime_factors(graph: LabeledGraph) -> list[LabeledGraph]:
     """The prime factors of ``graph``, deduplicated up to isomorphism.
 
     A graph that is itself prime has exactly itself as prime factor.
     """
     factors = [m.factor for m in all_factors(graph, include_trivial=True)]
     primes = [candidate for candidate in factors if is_prime(candidate)]
-    unique: List[LabeledGraph] = []
+    unique: list[LabeledGraph] = []
     for candidate in primes:
         if not any(are_isomorphic(candidate, existing) for existing in unique):
             unique.append(candidate)
@@ -79,20 +78,20 @@ def prime_factors(graph: LabeledGraph) -> List[LabeledGraph]:
 # ----------------------------------------------------------------------
 
 
-def _divisors(n: int) -> List[int]:
+def _divisors(n: int) -> list[int]:
     return [d for d in range(1, n + 1) if n % d == 0]
 
 
 def _equal_size_partitions(
-    graph: LabeledGraph, classes: Dict[Node, int], fiber_size: int
-) -> List[List[Tuple[Node, ...]]]:
+    graph: LabeledGraph, classes: dict[Node, int], fiber_size: int
+) -> list[list[tuple[Node, ...]]]:
     """All partitions of the node set into blocks of exactly ``fiber_size``
     nodes, where every block stays inside one view class (Fact 1)."""
     nodes = list(graph.nodes)
-    partitions: List[List[Tuple[Node, ...]]] = []
-    blocks: List[List[Node]] = []
+    partitions: list[list[tuple[Node, ...]]] = []
+    blocks: list[list[Node]] = []
 
-    def backtrack(remaining: List[Node]) -> None:
+    def backtrack(remaining: list[Node]) -> None:
         if not remaining:
             if all(len(block) == fiber_size for block in blocks):
                 partitions.append([tuple(block) for block in blocks])
@@ -117,11 +116,11 @@ def _equal_size_partitions(
 
 
 def _partition_to_factor(
-    graph: LabeledGraph, partition: List[Tuple[Node, ...]]
-) -> Optional[FactorizingMap]:
+    graph: LabeledGraph, partition: list[tuple[Node, ...]]
+) -> FactorizingMap | None:
     """Build and verify the quotient of ``graph`` by ``partition``;
     ``None`` when the partition does not induce a factor."""
-    block_of: Dict[Node, int] = {}
+    block_of: dict[Node, int] = {}
     for index, block in enumerate(partition):
         for v in block:
             block_of[v] = index
@@ -141,7 +140,7 @@ def _partition_to_factor(
     }
     try:
         quotient = LabeledGraph(
-            [tuple(sorted(e)) for e in edges],
+            sorted(tuple(sorted(e)) for e in edges),
             nodes=range(len(partition)),
             layers=layers,
         )

@@ -21,7 +21,6 @@ only defined for the 2-hop colored case.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.exceptions import FactorError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -50,7 +49,7 @@ class QuotientResult:
 
     graph: LabeledGraph
     map: FactorizingMap
-    views: Optional[Dict[int, ViewTree]] = None
+    views: dict[int, ViewTree] | None = None
 
     @property
     def is_trivial(self) -> bool:
@@ -70,7 +69,7 @@ def infinite_view_graph(
     refinement = color_refinement(graph)
     classes = refinement.classes
     class_ids = sorted(set(classes.values()))
-    representatives: Dict[int, Node] = {}
+    representatives: dict[int, Node] = {}
     for v in graph.nodes:
         representatives.setdefault(classes[v], v)
 
@@ -101,14 +100,14 @@ def infinite_view_graph(
         for name in graph.layer_names
     }
     quotient = LabeledGraph(
-        [tuple(sorted(e)) for e in edges],
+        sorted(tuple(sorted(e)) for e in edges),
         nodes=class_ids,
         layers=layers,
         check_connected=True,
     )
     factorizing = FactorizingMap(graph, quotient, {v: classes[v] for v in graph.nodes})
 
-    views: Optional[Dict[int, ViewTree]] = None
+    views: dict[int, ViewTree] | None = None
     if with_views:
         # The alias of a class is its depth-n view with n = |V_∞|
         # (Corollary 1 applied to the prime quotient).  By Fact 1 the

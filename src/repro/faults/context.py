@@ -25,7 +25,8 @@ needed.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.faults.delivery import CorruptingTape, FaultyDelivery
 from repro.faults.plan import FaultPlan, FaultSchedule
@@ -59,7 +60,7 @@ class ActiveInjection:
         self.plan = plan
         self.schedule = FaultSchedule(plan)
         self.trace = FaultTrace()
-        self.execution_traces: List[FaultTrace] = []
+        self.execution_traces: list[FaultTrace] = []
 
     def wrap(
         self,
@@ -67,7 +68,7 @@ class ActiveInjection:
         tapes: Mapping[Node, BitSource],
         graph: LabeledGraph,
         hooks: Sequence[RoundHook],
-    ) -> Tuple[DeliveryDiscipline, Mapping[Node, BitSource], Sequence[RoundHook]]:
+    ) -> tuple[DeliveryDiscipline, Mapping[Node, BitSource], Sequence[RoundHook]]:
         local = FaultTrace(parent=self.trace)
         self.execution_traces.append(local)
         wrapped_delivery = FaultyDelivery(delivery, self.schedule, trace=local)
@@ -78,15 +79,15 @@ class ActiveInjection:
         return wrapped_delivery, wrapped_tapes, [*hooks, _FaultMetricsHook(local)]
 
     @property
-    def last_execution_trace(self) -> Optional[FaultTrace]:
+    def last_execution_trace(self) -> FaultTrace | None:
         """The trace of the most recently wrapped execution."""
         return self.execution_traces[-1] if self.execution_traces else None
 
 
-_ACTIVE: List[ActiveInjection] = []
+_ACTIVE: list[ActiveInjection] = []
 
 
-def current() -> Optional[ActiveInjection]:
+def current() -> ActiveInjection | None:
     """The innermost active injection, or ``None``."""
     return _ACTIVE[-1] if _ACTIVE else None
 

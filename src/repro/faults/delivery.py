@@ -30,7 +30,8 @@ exactly once per round).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from collections.abc import Mapping
+from typing import Any
 
 from repro.exceptions import FaultInjectionError
 from repro.faults.plan import FaultPlan, FaultSchedule
@@ -48,7 +49,7 @@ from repro.runtime.tape import BitSource
 class LostMessage:
     """Singleton sentinel delivered on a port whose payload was lost."""
 
-    _instance: Optional["LostMessage"] = None
+    _instance: "LostMessage" | None = None
 
     def __new__(cls) -> "LostMessage":
         if cls._instance is None:
@@ -77,7 +78,7 @@ class FaultyDelivery(DeliveryDiscipline):
         self,
         inner: DeliveryDiscipline,
         schedule: "FaultSchedule | FaultPlan",
-        trace: Optional[FaultTrace] = None,
+        trace: FaultTrace | None = None,
     ) -> None:
         if isinstance(schedule, FaultPlan):
             schedule = FaultSchedule(schedule)
@@ -119,7 +120,7 @@ class FaultyDelivery(DeliveryDiscipline):
 
     def emit(
         self, algorithm: Any, states: Mapping[Node, Any], graph: LabeledGraph
-    ) -> Dict[Node, Any]:
+    ) -> dict[Node, Any]:
         self._round += 1
         return self._inner.emit(algorithm, states, graph)
 
@@ -135,17 +136,17 @@ class FaultyDelivery(DeliveryDiscipline):
 
     def inbox(
         self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
-    ) -> Tuple[Any, ...]:
+    ) -> tuple[Any, ...]:
         if self._mode == "broadcast":
             return self._broadcast_inbox(outboxes, node, graph)
         return self._port_inbox(outboxes, node, graph)
 
     def _broadcast_inbox(
         self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
-    ) -> Tuple[Any, ...]:
+    ) -> tuple[Any, ...]:
         r, schedule = self._round, self._schedule
         receiver_down = self._silenced(node)
-        received: List[Any] = []
+        received: list[Any] = []
         for u in graph.neighbors(node):
             if receiver_down or self._silenced(u):
                 continue
@@ -160,11 +161,11 @@ class FaultyDelivery(DeliveryDiscipline):
 
     def _port_inbox(
         self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
-    ) -> Tuple[Any, ...]:
+    ) -> tuple[Any, ...]:
         r, schedule = self._round, self._schedule
         receiver_down = self._silenced(node)
         senders = list(graph.ports(node))
-        entries: List[Any] = []
+        entries: list[Any] = []
         for port, u in enumerate(senders):
             if receiver_down or self._silenced(u):
                 entries.append(LOST)
@@ -189,8 +190,8 @@ class CrashDiscipline(FaultyDelivery):
     def __init__(
         self,
         inner: DeliveryDiscipline,
-        crashes: "Mapping[Node, int] | Tuple[Tuple[Node, int], ...]",
-        trace: Optional[FaultTrace] = None,
+        crashes: "Mapping[Node, int] | tuple[tuple[Node, int], ...]",
+        trace: FaultTrace | None = None,
     ) -> None:
         if isinstance(crashes, Mapping):
             crashes = tuple(crashes.items())
@@ -213,7 +214,7 @@ class CorruptingTape(BitSource):
         inner: BitSource,
         node: Node,
         schedule: "FaultSchedule | FaultPlan",
-        trace: Optional[FaultTrace] = None,
+        trace: FaultTrace | None = None,
     ) -> None:
         if isinstance(schedule, FaultPlan):
             schedule = FaultSchedule(schedule)

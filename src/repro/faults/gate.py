@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import List
 
 from repro.experiments.base import all_experiment_ids, get_spec
 from repro.experiments.runner import (
@@ -34,7 +33,7 @@ from repro.faults.context import inject_faults
 from repro.faults.plan import FaultPlan
 
 
-def _canonical_bytes(ids: List[str], *, jobs: int = 1) -> str:
+def _canonical_bytes(ids: list[str], *, jobs: int = 1) -> str:
     report = run_experiments(ids, jobs=jobs)
     return json.dumps(canonical_results(results_payload(report)), sort_keys=True)
 

@@ -8,7 +8,7 @@ and wanting the result and the fault trace together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any
 
 from repro.faults.context import inject_faults
 from repro.faults.plan import FaultPlan
@@ -29,7 +29,7 @@ class FaultedExecution:
     def faults_injected(self) -> int:
         return len(self.fault_trace)
 
-    def fault_counts(self) -> Dict[str, int]:
+    def fault_counts(self) -> dict[str, int]:
         return self.fault_trace.counts()
 
 

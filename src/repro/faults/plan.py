@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from repro.exceptions import FaultInjectionError
 
@@ -73,9 +73,9 @@ class FaultPlan:
     duplicate_rate: float = 0.0
     reorder_rate: float = 0.0
     corrupt_rate: float = 0.0
-    crashes: Tuple[Tuple[Any, int], ...] = ()
+    crashes: tuple[tuple[Any, int], ...] = ()
     first_round: int = 1
-    last_round: Optional[int] = None
+    last_round: int | None = None
 
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
@@ -111,14 +111,14 @@ class FaultPlan:
             and not self.crashes
         )
 
-    def crash_round(self, node: Any) -> Optional[int]:
+    def crash_round(self, node: Any) -> int | None:
         """The round ``node`` crash-stops in, or ``None``."""
         for crashed, round_ in self.crashes:
             if crashed == node:
                 return round_
         return None
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """A JSON-safe projection (tuple nodes become lists)."""
         def jsonify_node(node: Any) -> Any:
             return list(node) if isinstance(node, tuple) else node
@@ -135,7 +135,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
         """Inverse of :meth:`as_dict` (list nodes become tuples again)."""
         def nodeify(node: Any) -> Any:
             return tuple(node) if isinstance(node, list) else node
@@ -192,7 +192,7 @@ class FaultSchedule:
 
     def reorder_permutation(
         self, round_number: int, receiver: Any, degree: int
-    ) -> Optional[List[int]]:
+    ) -> list[int] | None:
         """The permutation applied to the receiver's port-indexed inbox
         this round, or ``None``.  ``result[i]`` is the source index of
         inbox slot ``i``.  Identity draws are reported as ``None`` so a

@@ -13,7 +13,7 @@ as ``faults_injected``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 KINDS = ("drop", "duplicate", "reorder", "crash", "corrupt")
 
@@ -32,9 +32,9 @@ class FaultEvent:
     kind: str
     round: int
     node: Any
-    detail: Tuple[Any, ...] = ()
+    detail: tuple[Any, ...] = ()
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
             "round": self.round,
@@ -55,8 +55,8 @@ class FaultTrace:
     into the parent, so the context sees the union of all its runs.
     """
 
-    events: List[FaultEvent] = field(default_factory=list)
-    parent: Optional["FaultTrace"] = None
+    events: list[FaultEvent] = field(default_factory=list)
+    parent: "FaultTrace" | None = None
 
     def record(self, event: FaultEvent) -> None:
         self.events.append(event)
@@ -66,17 +66,17 @@ class FaultTrace:
     def __len__(self) -> int:
         return len(self.events)
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         """Event count per kind (only kinds that occurred appear)."""
-        totals: Dict[str, int] = {}
+        totals: dict[str, int] = {}
         for event in self.events:
             totals[event.kind] = totals.get(event.kind, 0) + 1
         return totals
 
-    def of_kind(self, kind: str) -> List[FaultEvent]:
+    def of_kind(self, kind: str) -> list[FaultEvent]:
         return [event for event in self.events if event.kind == kind]
 
-    def as_dict(self, max_events: Optional[int] = None) -> Dict[str, Any]:
+    def as_dict(self, max_events: int | None = None) -> dict[str, Any]:
         """JSON-safe summary: totals per kind plus (optionally capped)
         individual events, in injection order."""
         events = self.events if max_events is None else self.events[:max_events]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import LabeledGraph
@@ -234,7 +234,7 @@ def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 10
 
 def _configuration_model_attempt(
     n: int, degree: int, rng: random.Random
-) -> Optional[List[frozenset]]:
+) -> list[frozenset] | None:
     stubs = [v for v in range(n) for _ in range(degree)]
     rng.shuffle(stubs)
     edges: set = set()

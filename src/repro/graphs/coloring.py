@@ -14,15 +14,14 @@ The *distributed randomized* 2-hop coloring algorithm lives in
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from repro.exceptions import LabelingError
 from repro.graphs.labeled_graph import Label, LabeledGraph, Node
 
 
 def k_hop_conflicts(
-    graph: LabeledGraph, coloring: Dict[Node, Label], k: int
-) -> List[Tuple[Node, Node]]:
+    graph: LabeledGraph, coloring: dict[Node, Label], k: int
+) -> list[tuple[Node, Node]]:
     """All pairs of distinct nodes within ``k`` hops sharing a color.
 
     An empty result certifies that ``coloring`` is a k-hop coloring.
@@ -41,17 +40,17 @@ def k_hop_conflicts(
     return sorted(set(conflicts), key=repr)
 
 
-def is_k_hop_coloring(graph: LabeledGraph, coloring: Dict[Node, Label], k: int) -> bool:
+def is_k_hop_coloring(graph: LabeledGraph, coloring: dict[Node, Label], k: int) -> bool:
     """Whether ``coloring`` is a valid k-hop coloring of ``graph``."""
     return not k_hop_conflicts(graph, coloring, k)
 
 
-def is_two_hop_coloring(graph: LabeledGraph, coloring: Dict[Node, Label]) -> bool:
+def is_two_hop_coloring(graph: LabeledGraph, coloring: dict[Node, Label]) -> bool:
     """Whether ``coloring`` is a valid 2-hop coloring (the paper's case)."""
     return is_k_hop_coloring(graph, coloring, 2)
 
 
-def greedy_k_hop_coloring(graph: LabeledGraph, k: int) -> Dict[Node, int]:
+def greedy_k_hop_coloring(graph: LabeledGraph, k: int) -> dict[Node, int]:
     """A centralized greedy k-hop coloring with colors ``0, 1, 2, ...``.
 
     Processes nodes in sorted order and gives each the smallest color not
@@ -62,7 +61,7 @@ def greedy_k_hop_coloring(graph: LabeledGraph, k: int) -> Dict[Node, int]:
     """
     if k < 1:
         raise LabelingError(f"k must be at least 1, got {k}")
-    coloring: Dict[Node, int] = {}
+    coloring: dict[Node, int] = {}
     for v in graph.nodes:
         taken = {
             coloring[u]
@@ -76,13 +75,13 @@ def greedy_k_hop_coloring(graph: LabeledGraph, k: int) -> Dict[Node, int]:
     return coloring
 
 
-def greedy_two_hop_coloring(graph: LabeledGraph) -> Dict[Node, int]:
+def greedy_two_hop_coloring(graph: LabeledGraph) -> dict[Node, int]:
     """Centralized greedy 2-hop coloring (see :func:`greedy_k_hop_coloring`)."""
     return greedy_k_hop_coloring(graph, 2)
 
 
 def apply_two_hop_coloring(
-    graph: LabeledGraph, coloring: Dict[Node, Label], layer: str = "color"
+    graph: LabeledGraph, coloring: dict[Node, Label], layer: str = "color"
 ) -> LabeledGraph:
     """Attach ``coloring`` as a layer after validating it is 2-hop proper."""
     conflicts = k_hop_conflicts(graph, coloring, 2)
@@ -94,6 +93,6 @@ def apply_two_hop_coloring(
     return graph.with_layer(layer, coloring)
 
 
-def num_colors(coloring: Dict[Node, Label]) -> int:
+def num_colors(coloring: dict[Node, Label]) -> int:
     """Number of distinct colors used."""
     return len(set(coloring.values()))

@@ -15,7 +15,8 @@ adjacency-preserving isomorphism between them.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze

@@ -11,7 +11,7 @@ library are tuple-shaped.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any
 
 from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import LabeledGraph
@@ -19,7 +19,7 @@ from repro.graphs.labeled_graph import LabeledGraph
 FORMAT_VERSION = 1
 
 
-def graph_to_dict(graph: LabeledGraph) -> Dict[str, Any]:
+def graph_to_dict(graph: LabeledGraph) -> dict[str, Any]:
     """A JSON-compatible description of the graph (nodes, edges, layers,
     ports)."""
     return {
@@ -46,7 +46,7 @@ def graph_to_dict(graph: LabeledGraph) -> Dict[str, Any]:
     }
 
 
-def graph_from_dict(data: Dict[str, Any]) -> LabeledGraph:
+def graph_from_dict(data: dict[str, Any]) -> LabeledGraph:
     """Rebuild a graph from :func:`graph_to_dict` output."""
     if data.get("format") != FORMAT_VERSION:
         raise GraphError(

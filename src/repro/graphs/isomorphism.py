@@ -14,18 +14,18 @@ only isomorphism-tested in assertions on small cases).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
 
 
-def _refined_classes(graph: LabeledGraph) -> Dict[Node, int]:
+def _refined_classes(graph: LabeledGraph) -> dict[Node, int]:
     """Stable color-refinement classes seeded by (label, degree).
 
     Two nodes in different classes can never correspond under any
     label-respecting isomorphism, so classes drive the matcher's pruning.
     """
-    color: Dict[Node, object] = {
+    color: dict[Node, object] = {
         v: (_freeze(graph.label(v)), graph.degree(v)) for v in graph.nodes
     }
     while True:
@@ -40,10 +40,10 @@ def _refined_classes(graph: LabeledGraph) -> Dict[Node, int]:
         color = new_color
 
 
-def _class_signature(graph: LabeledGraph, classes: Dict[Node, int]) -> Tuple:
+def _class_signature(graph: LabeledGraph, classes: dict[Node, int]) -> tuple:
     """Multiset of (class size, representative label, degree) — a cheap
     isomorphism invariant used to reject mismatched graphs early."""
-    by_class: Dict[int, List[Node]] = {}
+    by_class: dict[int, list[Node]] = {}
     for v, c in classes.items():
         by_class.setdefault(c, []).append(v)
     return tuple(
@@ -60,7 +60,7 @@ def _class_signature(graph: LabeledGraph, classes: Dict[Node, int]) -> Tuple:
 
 def _isomorphisms(
     graph_a: LabeledGraph, graph_b: LabeledGraph
-) -> Iterator[Dict[Node, Node]]:
+) -> Iterator[dict[Node, Node]]:
     """Yield all label-respecting isomorphisms from ``graph_a`` to ``graph_b``."""
     if graph_a.num_nodes != graph_b.num_nodes or graph_a.num_edges != graph_b.num_edges:
         return
@@ -73,14 +73,14 @@ def _isomorphisms(
 
     # Candidate targets for each source node: nodes of graph_b with the
     # same (label, degree, class size) fingerprint.
-    def fingerprint(graph: LabeledGraph, classes: Dict[Node, int], v: Node) -> Tuple:
+    def fingerprint(graph: LabeledGraph, classes: dict[Node, int], v: Node) -> tuple:
         size = sum(1 for u in classes if classes[u] == classes[v])
         return (repr(_freeze(graph.label(v))), graph.degree(v), size)
 
-    fp_b: Dict[Tuple, List[Node]] = {}
+    fp_b: dict[tuple, list[Node]] = {}
     for v in graph_b.nodes:
         fp_b.setdefault(fingerprint(graph_b, classes_b, v), []).append(v)
-    candidates: Dict[Node, List[Node]] = {}
+    candidates: dict[Node, list[Node]] = {}
     for v in graph_a.nodes:
         candidates[v] = fp_b.get(fingerprint(graph_a, classes_a, v), [])
         if not candidates[v]:
@@ -88,7 +88,7 @@ def _isomorphisms(
 
     # Match nodes in order of fewest candidates first.
     order = sorted(graph_a.nodes, key=lambda v: (len(candidates[v]), repr(v)))
-    mapping: Dict[Node, Node] = {}
+    mapping: dict[Node, Node] = {}
     used: set = set()
 
     def consistent(v: Node, target: Node) -> bool:
@@ -101,7 +101,7 @@ def _isomorphisms(
                     return False
         return True
 
-    def extend(position: int) -> Iterator[Dict[Node, Node]]:
+    def extend(position: int) -> Iterator[dict[Node, Node]]:
         if position == len(order):
             yield dict(mapping)
             return
@@ -120,7 +120,7 @@ def _isomorphisms(
 
 def find_isomorphism(
     graph_a: LabeledGraph, graph_b: LabeledGraph
-) -> Optional[Dict[Node, Node]]:
+) -> dict[Node, Node] | None:
     """A label-respecting isomorphism a->b, or ``None`` if none exists."""
     for mapping in _isomorphisms(graph_a, graph_b):
         return mapping
@@ -132,7 +132,7 @@ def are_isomorphic(graph_a: LabeledGraph, graph_b: LabeledGraph) -> bool:
     return find_isomorphism(graph_a, graph_b) is not None
 
 
-def automorphisms(graph: LabeledGraph) -> List[Dict[Node, Node]]:
+def automorphisms(graph: LabeledGraph) -> list[dict[Node, Node]]:
     """All label-respecting automorphisms of ``graph``."""
     return list(_isomorphisms(graph, graph))
 

@@ -20,25 +20,14 @@ views, quotients and simulations to share graphs freely.
 
 from __future__ import annotations
 
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    FrozenSet,
-    Hashable,
-    Iterable,
-    Iterator,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import GraphError, LabelingError
 
 Node = Hashable
 Label = Any
-Edge = Tuple[Node, Node]
+Edge = tuple[Node, Node]
 
 
 class _SortKey:
@@ -114,12 +103,12 @@ class LabeledGraph:
     def __init__(
         self,
         edges: Iterable[Edge],
-        nodes: Optional[Iterable[Node]] = None,
-        layers: Optional[Mapping[str, Mapping[Node, Label]]] = None,
-        ports: Optional[Mapping[Node, Sequence[Node]]] = None,
+        nodes: Iterable[Node] | None = None,
+        layers: Mapping[str, Mapping[Node, Label]] | None = None,
+        ports: Mapping[Node, Sequence[Node]] | None = None,
         check_connected: bool = True,
     ) -> None:
-        adjacency: Dict[Node, list] = {}
+        adjacency: dict[Node, list] = {}
         edge_set: set = set()
         for u, v in edges:
             if u == v:
@@ -137,24 +126,24 @@ class LabeledGraph:
         if not adjacency:
             raise GraphError("a labeled graph must have at least one node")
 
-        self._nodes: Tuple[Node, ...] = tuple(sorted(adjacency, key=_sort_key))
-        self._adjacency: Dict[Node, Tuple[Node, ...]] = {
+        self._nodes: tuple[Node, ...] = tuple(sorted(adjacency, key=_sort_key))
+        self._adjacency: dict[Node, tuple[Node, ...]] = {
             v: tuple(sorted(neighbors, key=_sort_key)) for v, neighbors in adjacency.items()
         }
-        self._edges: FrozenSet[FrozenSet[Node]] = frozenset(edge_set)
+        self._edges: frozenset[frozenset[Node]] = frozenset(edge_set)
 
         if check_connected and not self._connected():
             raise GraphError(
                 f"graph with {len(self._nodes)} nodes and {len(self._edges)} edges is not connected"
             )
 
-        self._layers: Dict[str, Dict[Node, Label]] = {}
+        self._layers: dict[str, dict[Node, Label]] = {}
         if layers is not None:
             for name, mapping in layers.items():
                 self._layers[name] = self._validate_layer(name, mapping)
 
-        self._ports: Dict[Node, Tuple[Node, ...]] = {}
-        self._port_of: Dict[Node, Dict[Node, int]] = {}
+        self._ports: dict[Node, tuple[Node, ...]] = {}
+        self._port_of: dict[Node, dict[Node, int]] = {}
         if ports is None:
             for v in self._nodes:
                 self._ports[v] = self._adjacency[v]
@@ -171,14 +160,14 @@ class LabeledGraph:
                 self._ports[v] = ordering
         for v in self._nodes:
             self._port_of[v] = {u: port for port, u in enumerate(self._ports[v])}
-        self._hash: Optional[int] = None
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
     # ------------------------------------------------------------------
 
     @property
-    def nodes(self) -> Tuple[Node, ...]:
+    def nodes(self) -> tuple[Node, ...]:
         """All nodes, in the deterministic sorted order."""
         return self._nodes
 
@@ -202,7 +191,7 @@ class LabeledGraph:
     def has_edge(self, u: Node, v: Node) -> bool:
         return frozenset((u, v)) in self._edges
 
-    def neighbors(self, v: Node) -> Tuple[Node, ...]:
+    def neighbors(self, v: Node) -> tuple[Node, ...]:
         """Neighbors of ``v`` in sorted order (the set Γ(v))."""
         try:
             return self._adjacency[v]
@@ -228,7 +217,7 @@ class LabeledGraph:
     # Ports
     # ------------------------------------------------------------------
 
-    def ports(self, v: Node) -> Tuple[Node, ...]:
+    def ports(self, v: Node) -> tuple[Node, ...]:
         """Neighbors of ``v`` in port order: ``ports(v)[i]`` sits on port ``i``."""
         try:
             return self._ports[v]
@@ -254,7 +243,7 @@ class LabeledGraph:
     # Label layers
     # ------------------------------------------------------------------
 
-    def _validate_layer(self, name: str, mapping: Mapping[Node, Label]) -> Dict[Node, Label]:
+    def _validate_layer(self, name: str, mapping: Mapping[Node, Label]) -> dict[Node, Label]:
         missing = [v for v in self._nodes if v not in mapping]
         if missing:
             raise LabelingError(
@@ -266,13 +255,13 @@ class LabeledGraph:
         return {v: mapping[v] for v in self._nodes}
 
     @property
-    def layer_names(self) -> Tuple[str, ...]:
+    def layer_names(self) -> tuple[str, ...]:
         return tuple(self._layers)
 
     def has_layer(self, name: str) -> bool:
         return name in self._layers
 
-    def layer(self, name: str) -> Dict[Node, Label]:
+    def layer(self, name: str) -> dict[Node, Label]:
         """The node->label mapping of one layer (a fresh dict)."""
         try:
             return dict(self._layers[name])
@@ -292,7 +281,7 @@ class LabeledGraph:
             raise GraphError(f"unknown node {v!r}")
         return layer[v]
 
-    def label(self, v: Node) -> Tuple[Label, ...]:
+    def label(self, v: Node) -> tuple[Label, ...]:
         """The composed label ``<l_1(v), ..., l_k(v)>`` over all layers."""
         if v not in self._adjacency:
             raise GraphError(f"unknown node {v!r}")
@@ -330,8 +319,8 @@ class LabeledGraph:
 
     def _replace(
         self,
-        layers: Optional[Dict[str, Dict[Node, Label]]] = None,
-        ports: Optional[Mapping[Node, Sequence[Node]]] = None,
+        layers: dict[str, dict[Node, Label]] | None = None,
+        ports: Mapping[Node, Sequence[Node]] | None = None,
     ) -> "LabeledGraph":
         return LabeledGraph(
             edges=[tuple(edge) for edge in self._edges],
@@ -371,11 +360,11 @@ class LabeledGraph:
     # Derived structure
     # ------------------------------------------------------------------
 
-    def closed_neighborhood(self, v: Node) -> Tuple[Node, ...]:
+    def closed_neighborhood(self, v: Node) -> tuple[Node, ...]:
         """The set {v} ∪ Γ(v), sorted."""
         return tuple(sorted((v,) + self.neighbors(v), key=_sort_key))
 
-    def nodes_within(self, v: Node, hops: int) -> Tuple[Node, ...]:
+    def nodes_within(self, v: Node, hops: int) -> tuple[Node, ...]:
         """All nodes at distance at most ``hops`` from ``v`` (the set H^hops(v))."""
         if hops < 0:
             raise GraphError(f"hops must be nonnegative, got {hops}")
@@ -419,13 +408,16 @@ class LabeledGraph:
     # Equality / hashing / repr
     # ------------------------------------------------------------------
 
-    def structure_key(self) -> Tuple:
+    def structure_key(self) -> tuple:
         """A value determining the graph up to *identity* (same node ids,
         edges, layers in order, and ports) — not up to isomorphism."""
         return (
             self._nodes,
             tuple(sorted(self.edges(), key=lambda p: (_sort_key(p[0]), _sort_key(p[1])))),
-            tuple(
+            # Layer insertion order is part of graph identity by contract
+            # (it is the order label() composes layer values in), so
+            # iterating .items() here is deliberate, not incidental.
+            tuple(  # repro-lint: disable=DET002
                 (name, tuple((v, _freeze(layer[v])) for v in self._nodes))
                 for name, layer in self._layers.items()
             ),

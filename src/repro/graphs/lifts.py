@@ -18,21 +18,21 @@ paper's Figure 2.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import Edge, LabeledGraph, Node
 
-LiftNode = Tuple[Node, int]
+LiftNode = tuple[Node, int]
 Voltage = Mapping[Edge, Sequence[int]]
 
 
 def lift_graph(
     base: LabeledGraph,
     fiber_size: int,
-    voltages: Optional[Voltage] = None,
+    voltages: Voltage | None = None,
     seed: int = 0,
-) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+) -> tuple[LabeledGraph, dict[LiftNode, Node]]:
     """An ``fiber_size``-lift of ``base`` plus its projection map.
 
     Parameters
@@ -84,7 +84,7 @@ def lift_graph(
 
 def cyclic_lift(
     base: LabeledGraph, fiber_size: int, shift: int = 1
-) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+) -> tuple[LabeledGraph, dict[LiftNode, Node]]:
     """A lift where one chosen edge gets the cyclic shift ``i -> i+shift``
     and all other edges the identity permutation.
 
@@ -103,8 +103,8 @@ def cyclic_lift(
 
 def _validated_voltages(
     base: LabeledGraph, fiber_size: int, voltages: Voltage
-) -> Dict[Edge, Tuple[int, ...]]:
-    validated: Dict[Edge, Tuple[int, ...]] = {}
+) -> dict[Edge, tuple[int, ...]]:
+    validated: dict[Edge, tuple[int, ...]] = {}
     for edge in base.edges():
         if edge not in voltages:
             raise GraphError(f"missing voltage for edge {edge!r}")
@@ -119,8 +119,8 @@ def _validated_voltages(
 
 
 def _build_lift(
-    base: LabeledGraph, fiber_size: int, voltages: Dict[Edge, Tuple[int, ...]]
-) -> Tuple[LabeledGraph, Dict[LiftNode, Node]]:
+    base: LabeledGraph, fiber_size: int, voltages: dict[Edge, tuple[int, ...]]
+) -> tuple[LabeledGraph, dict[LiftNode, Node]]:
     lift_edges = []
     for (u, v) in base.edges():
         perm = voltages[(u, v)]

@@ -7,7 +7,6 @@ algorithms themselves, which only ever see local information.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -41,7 +40,7 @@ def diameter(graph: LabeledGraph) -> int:
     return max(eccentricity(graph, v) for v in graph.nodes)
 
 
-def degree_profile(graph: LabeledGraph) -> Tuple[int, ...]:
+def degree_profile(graph: LabeledGraph) -> tuple[int, ...]:
     """The sorted multiset of node degrees."""
     return tuple(sorted(graph.degree(v) for v in graph.nodes))
 
@@ -56,7 +55,7 @@ def max_degree(graph: LabeledGraph) -> int:
     return max(graph.degree(v) for v in graph.nodes)
 
 
-def _bfs_distances(graph: LabeledGraph, source: Node) -> Dict[Node, int]:
+def _bfs_distances(graph: LabeledGraph, source: Node) -> dict[Node, int]:
     distances = {source: 0}
     frontier = [source]
     while frontier:

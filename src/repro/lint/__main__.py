@@ -1,0 +1,162 @@
+"""``python -m repro.lint`` — the invariant-analyzer CLI.
+
+Exit codes are stable and meant for gating:
+
+* ``0`` — no new error-severity findings (clean, warn-only, or all
+  findings baselined);
+* ``1`` — at least one new error-severity finding;
+* ``2`` — usage or configuration error (unknown rule, missing path,
+  malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.analyzer import run_lint
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.registry import all_rules
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+USAGE_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analyzer for the repo's determinism and "
+        "anonymity invariants (see docs/LINT.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="analysis root; findings and rule scoping use paths relative "
+        "to it (default: current directory)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE]",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of acknowledged findings; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but always exit 0 (adoption/sweep mode)",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="emit the JSON report (to FILE, or stdout when no FILE given)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    select: list[str] = []
+    for chunk in args.select:
+        select.extend(s.strip() for s in chunk.split(",") if s.strip())
+
+    if args.list_rules:
+        try:
+            rules = all_rules(select)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return USAGE_ERROR
+        for rule in rules:
+            print(f"{rule.rule_id}  [{rule.severity}]  {rule.description}")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: root {args.root!r} is not a directory", file=sys.stderr)
+        return USAGE_ERROR
+
+    raw_paths = args.paths or [
+        str(root / p) for p in DEFAULT_PATHS if (root / p).is_dir()
+    ]
+    paths = [Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return USAGE_ERROR
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return USAGE_ERROR
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+
+    try:
+        report = run_lint(
+            paths,
+            root,
+            select=select,
+            baseline=None if args.write_baseline else baseline,
+            warn_only=args.warn_only,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return USAGE_ERROR
+
+    if args.write_baseline:
+        assert baseline is not None
+        new_baseline = Baseline.from_findings(
+            Path(args.baseline), report.findings, previous=baseline
+        )
+        new_baseline.write()
+        print(
+            f"wrote {len(new_baseline.entries)} baseline entrie(s) to "
+            f"{args.baseline}; add a justifying 'note' to each"
+        )
+        return 0
+
+    if args.json:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+    if args.json != "-":
+        print(report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""File walking, suppression handling and the lint driver."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.lint.astutil import ImportMap
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+
+#: JSON report schema version; bump on breaking shape changes.
+REPORT_SCHEMA_VERSION = 1
+
+PARSE_ERROR_RULE = "LINT000"
+UNUSED_SUPPRESSION_RULE = "LINT001"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"(all|[A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]  # () means `all`
+    file_wide: bool
+    standalone: bool  # the comment is the whole line
+    used: bool = False
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        if self.rules and rule_id.upper() not in self.rules:
+            return False
+        if self.file_wide:
+            return True
+        # A trailing comment covers its own line; a standalone comment
+        # covers the line below it (for statements too long to share a
+        # line with their justification).
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.AST
+    imports: ImportMap
+    lines: list[str] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _scan_suppressions(source: str) -> list[Suppression]:
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if not match:
+            continue
+        kind, spec = match.groups()
+        rules: tuple[str, ...] = ()
+        if spec.lower() != "all":
+            rules = tuple(r.strip().upper() for r in spec.split(","))
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                rules=rules,
+                file_wide=(kind == "disable-file"),
+                standalone=(token.line.strip() == token.string.strip()),
+            )
+        )
+    return suppressions
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    root: str
+    paths: list[str]
+    findings: list[Finding]
+    expired_baseline: list[dict[str, Any]]
+    suppressed_count: int
+    files_checked: int
+    rules: list[dict[str, str]]
+    warn_only: bool = False
+    baseline_path: str | None = None
+
+    @property
+    def new_errors(self) -> list[Finding]:
+        return [
+            f
+            for f in self.findings
+            if f.severity == Severity.ERROR and not f.baselined
+        ]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": sum(
+                1
+                for f in self.findings
+                if f.severity == Severity.ERROR and not f.baselined
+            ),
+            "warning": sum(
+                1
+                for f in self.findings
+                if f.severity == Severity.WARNING and not f.baselined
+            ),
+            "baselined": sum(1 for f in self.findings if f.baselined),
+            "suppressed": self.suppressed_count,
+            "files": self.files_checked,
+        }
+
+    @property
+    def exit_code(self) -> int:
+        """0 = gate passes, 1 = new error findings (unless warn-only)."""
+        if self.warn_only:
+            return 0
+        return 1 if self.new_errors else 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "root": self.root,
+            "paths": self.paths,
+            "rules": self.rules,
+            "counts": self.counts,
+            "findings": [f.as_dict() for f in self.findings],
+            "baseline": {
+                "path": self.baseline_path,
+                "expired": self.expired_baseline,
+            },
+            "exit_code": self.exit_code,
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        for entry in self.expired_baseline:
+            lines.append(
+                f"{entry['path']}: baseline entry for {entry['rule']} no longer "
+                f"matches any finding (stale; rewrite with --write-baseline): "
+                f"{entry['message']}"
+            )
+        counts = self.counts
+        summary = (
+            f"repro-lint: {counts['files']} files, "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['baselined']} baselined, {counts['suppressed']} suppressed"
+        )
+        if self.warn_only and (counts["error"] or counts["warning"]):
+            summary += " [warn-only: exit 0]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Path,
+    *,
+    rules: Iterable | None = None,
+    select: Sequence[str] = (),
+    baseline: Baseline | None = None,
+    warn_only: bool = False,
+    report_unused_suppressions: bool | None = None,
+) -> LintReport:
+    """Analyze ``paths`` (files or directories) relative to ``root``.
+
+    ``rules`` overrides the registry (used by the framework tests);
+    ``select`` filters registered rules by id.  ``baseline`` marks
+    known findings so only new ones fail the gate.  Unused-suppression
+    warnings (LINT001) default to full-registry runs only — a filtered
+    run legitimately leaves other rules' suppressions unexercised.
+    """
+    from repro.lint.registry import all_rules
+
+    if report_unused_suppressions is None:
+        report_unused_suppressions = rules is None and not select
+    active = list(rules) if rules is not None else all_rules(select)
+    findings: list[Finding] = []
+    suppressed = 0
+    files = _collect_files([Path(p) for p in paths])
+    for path in files:
+        relpath = _relpath(path, root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        module = ModuleContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            imports=ImportMap(tree),
+            lines=source.splitlines(),
+        )
+        suppressions = _scan_suppressions(source)
+        for rule in active:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.check(module):
+                covering = [
+                    s for s in suppressions if s.covers(finding.rule, finding.line)
+                ]
+                if covering:
+                    for s in covering:
+                        s.used = True
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        for s in suppressions:
+            if not s.used and report_unused_suppressions:
+                findings.append(
+                    Finding(
+                        rule=UNUSED_SUPPRESSION_RULE,
+                        severity=Severity.WARNING,
+                        path=relpath,
+                        line=s.line,
+                        col=1,
+                        message=(
+                            "suppression comment matches no finding "
+                            f"(rules: {', '.join(s.rules) or 'all'}); remove it"
+                        ),
+                    )
+                )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    expired: list[dict[str, Any]] = []
+    if baseline is not None:
+        findings, expired = baseline.apply(findings)
+    return LintReport(
+        root=str(root),
+        paths=[_relpath(Path(p), root) for p in paths],
+        findings=findings,
+        expired_baseline=expired,
+        suppressed_count=suppressed,
+        files_checked=len(files),
+        rules=[
+            {
+                "id": r.rule_id,
+                "severity": r.severity,
+                "description": r.description,
+            }
+            for r in sorted(active, key=lambda r: r.rule_id)
+        ],
+        warn_only=warn_only,
+        baseline_path=str(baseline.path) if baseline is not None else None,
+    )

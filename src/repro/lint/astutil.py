@@ -1,0 +1,119 @@
+"""Shared AST helpers for the invariant rules.
+
+The rules reason about *qualified names*: ``perf_counter()`` after
+``from time import perf_counter`` and ``t.perf_counter()`` after
+``import time as t`` are the same nondeterminism source.
+:class:`ImportMap` records every import binding of a module so call
+sites can be resolved back to their dotted origin, without executing
+anything.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Local name -> dotted origin, from a module's import statements.
+
+    Only module-level and function-level ``import`` / ``from ... import``
+    bindings are tracked; names rebound by assignments afterwards are
+    deliberately still resolved (a rebinding that shadows ``random`` to
+    hide a lint finding deserves to be flagged, not excused).
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a` to package `a`;
+                    # `import a.b as c` binds `c` to `a.b`.
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._names[bound] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports never reach stdlib sources
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self._names[bound] = f"{module}.{alias.name}" if module else alias.name
+
+    def origin_of(self, name: str) -> str | None:
+        return self._names.get(name)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or ``None``.
+
+        ``time.perf_counter`` resolves to ``time.perf_counter``;
+        ``perf_counter`` (imported from ``time``) likewise; a chain
+        rooted in a local variable resolves to ``None``.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._names.get(node.id)
+        if origin is None:
+            # Unimported bare name: resolvable only if it is a builtin
+            # the caller cares about (e.g. `id`); report it verbatim.
+            origin = node.id
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+def call_name(imports: ImportMap, call: ast.Call) -> str | None:
+    """Resolved dotted name of a call's callee."""
+    return imports.resolve(call.func)
+
+
+def is_unordered_expr(node: ast.AST, imports: ImportMap) -> str | None:
+    """Describe ``node`` if its iteration order is not deterministic
+    (or propagates dict order into an order-sensitive artifact).
+
+    Returns a short human description of the unordered source, or
+    ``None`` when the expression is order-safe.  Covered sources:
+
+    * set displays ``{a, b}`` and set comprehensions;
+    * ``set(...)`` / ``frozenset(...)`` calls;
+    * ``.keys()`` / ``.values()`` / ``.items()`` dict views.
+
+    Dict views *are* insertion-ordered in Python, but insertion order
+    is an implementation detail of the construction site; feeding one
+    into a canonical artifact couples the encoding to incidental
+    construction order, which is exactly what DET002 polices.
+    """
+    if isinstance(node, ast.Set):
+        return "a set display"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        resolved = call_name(imports, node)
+        if resolved in ("set", "frozenset", "builtins.set", "builtins.frozenset"):
+            if node.args or node.keywords:
+                return f"{resolved.rsplit('.', 1)[-1]}(...)"
+            return None  # empty set() constructs, it does not iterate
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values", "items")
+            and not node.args
+            and not node.keywords
+        ):
+            return f".{node.func.attr}() dict view"
+    return None
+
+
+def iterable_of(node: ast.AST) -> ast.AST:
+    """Peel one comprehension layer: the iterable actually looped over.
+
+    ``tuple(f(x) for x in xs)`` is order-sensitive in ``xs``, not in
+    the generator expression object itself.
+    """
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        return node.generators[0].iter
+    return node

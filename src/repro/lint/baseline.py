@@ -1,0 +1,112 @@
+"""Baseline files: acknowledged findings that do not fail the gate.
+
+A baseline is the escape hatch for adopting the analyzer on a tree
+with pre-existing findings: record them once (``--write-baseline``),
+then every run fails only on *new* findings.  Entries are matched by
+fingerprint — rule id, path and message, deliberately excluding line
+numbers so unrelated edits do not invalidate the baseline — and every
+entry carries a free-text ``note`` explaining why the finding is
+acceptable (the review policy in docs/LINT.md requires one).
+
+Entries whose finding has disappeared are *expired*: they are reported
+so the baseline shrinks monotonically toward empty, which is the state
+this repository maintains (see LINT_BASELINE.json).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass
+class Baseline:
+    """In-memory form of one baseline file."""
+
+    path: Path
+    entries: list[dict[str, Any]]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(path=path, entries=[])
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        entries = payload["entries"]
+        for entry in entries:
+            missing = {"rule", "path", "message", "fingerprint"} - set(entry)
+            if missing:
+                raise BaselineError(
+                    f"{path}: baseline entry missing keys {sorted(missing)}"
+                )
+        return cls(path=path, entries=list(entries))
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[dict[str, Any]]]:
+        """Mark baselined findings; report entries that no longer match."""
+        known = {entry["fingerprint"]: entry for entry in self.entries}
+        seen = set()
+        out: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in known:
+                seen.add(finding.fingerprint)
+                out.append(finding.with_baselined())
+            else:
+                out.append(finding)
+        expired = [
+            entry for fp, entry in known.items() if fp not in seen
+        ]
+        expired.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
+        return out, expired
+
+    @classmethod
+    def from_findings(
+        cls, path: Path, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline the given findings, keeping notes of retained entries."""
+        notes = {}
+        if previous is not None:
+            notes = {
+                entry["fingerprint"]: entry.get("note", "")
+                for entry in previous.entries
+            }
+        entries = []
+        for finding in findings:
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "fingerprint": finding.fingerprint,
+                    "note": notes.get(
+                        finding.fingerprint, "TODO: justify or fix this finding"
+                    ),
+                }
+            )
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
+        return cls(path=path, entries=entries)
+
+    def write(self) -> None:
+        payload = {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "entries": self.entries,
+        }
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

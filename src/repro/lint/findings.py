@@ -1,0 +1,73 @@
+"""Finding records and severities for the invariant analyzer."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity:
+    """Severity levels, ordered; only ``ERROR`` findings fail the gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is always relative to the analysis root with ``/``
+    separators, so fingerprints and JSON reports are machine-portable.
+    The ``fingerprint`` identifies the finding for baseline matching;
+    it deliberately excludes the line number so that unrelated edits
+    moving a known finding up or down do not break the baseline.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.message}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def with_baselined(self) -> "Finding":
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            baselined=True,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        tag = " [baselined]" if self.baselined else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}]{tag} {self.message}"
+        )

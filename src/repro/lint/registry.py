@@ -1,0 +1,114 @@
+"""Rule base class and registry.
+
+A rule is a class with a ``rule_id``, a ``severity``, a one-line
+``description`` (surfaced by ``--list-rules`` and in the JSON report)
+and a ``check(module)`` generator yielding :class:`Finding`-shaped
+tuples.  Rules register themselves with the :func:`register` decorator;
+:func:`all_rules` instantiates the registry in rule-id order, which is
+the order findings are produced in (the analyzer then sorts findings
+by location, so registration order never leaks into output).
+
+Path scoping lives on the rule: ``include`` restricts a rule to files
+under the listed prefixes (empty = everywhere), ``exclude`` carves out
+sanctioned files (the tape layer for DET001, the runtime package for
+ENG001, ...).  Prefixes are matched against the analysis-root-relative
+POSIX path, so the same rule set behaves identically in CI, locally,
+and against the synthetic trees the lint tests build under ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.analyzer import ModuleContext
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    rule_id: str = ""
+    severity: str = Severity.ERROR
+    description: str = ""
+    #: Root-relative path prefixes (or fnmatch globs) the rule applies
+    #: to; empty means every analyzed file.
+    include: tuple = ()
+    #: Root-relative path prefixes (or fnmatch globs) exempt from the
+    #: rule even when matched by ``include``.
+    exclude: tuple = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.include and not any(_match(relpath, pat) for pat in self.include):
+            return False
+        return not any(_match(relpath, pat) for pat in self.exclude)
+
+    def check(self, module: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: "ModuleContext", node, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node of ``module``."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _match(relpath: str, pattern: str) -> bool:
+    """Prefix match for directory-style patterns, fnmatch otherwise."""
+    if any(ch in pattern for ch in "*?["):
+        return fnmatch.fnmatch(relpath, pattern)
+    return relpath == pattern or relpath.startswith(pattern.rstrip("/") + "/")
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if cls.severity not in Severity.ALL:
+        raise ValueError(
+            f"rule {cls.rule_id}: unknown severity {cls.severity!r}"
+        )
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] = ()) -> list[Rule]:
+    """Instantiate the registered rules, optionally filtered by id."""
+    import repro.lint.rules  # noqa: F401  -- populates the registry
+
+    wanted = {rule_id.upper() for rule_id in select}
+    unknown = wanted - set(_REGISTRY)
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return [
+        rule_cls()
+        for rule_id, rule_cls in sorted(_REGISTRY.items())
+        if not wanted or rule_id in wanted
+    ]
+
+
+def known_rule_ids() -> list[str]:
+    import repro.lint.rules  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+__all__ = ["Rule", "all_rules", "known_rule_ids", "register"]

@@ -1,0 +1,5 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.lint.rules import anonymity, determinism, engine, wallclock
+
+__all__ = ["anonymity", "determinism", "engine", "wallclock"]

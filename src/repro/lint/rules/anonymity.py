@@ -1,0 +1,79 @@
+"""DET003 — the anonymity contract of algorithm-visible code.
+
+The paper's model (Section 1.1) gives an anonymous algorithm exactly
+three inputs: its node's label, its degree, and the canonical multiset
+(or port-indexed tuple) of received messages, plus the explicit random
+bits.  Python makes it easy to cheat: ``id(node)`` is a per-process
+unique identifier, and ``object.__hash__`` leaks the same identity.
+An algorithm that consults either is no longer anonymous — it breaks
+fiber symmetry (two nodes in the same fiber of a covering must behave
+identically), which is the property every lifting/derandomization
+theorem in the reproduction rests on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+
+@register
+class NoIdentityInAlgorithms(Rule):
+    """DET003: algorithms see labels and ports, never object identity."""
+
+    rule_id = "DET003"
+    severity = Severity.ERROR
+    description = (
+        "id() / object.__hash__ in algorithm-visible code — anonymous "
+        "algorithms may only use labels, degrees, ports and tape bits"
+    )
+    # Algorithm-visible code: the algorithm zoo plus the state/message
+    # protocol modules an Algorithm subclass runs against.
+    include = (
+        "src/repro/algorithms/",
+        "src/repro/runtime/algorithm.py",
+        "src/repro/runtime/composition.py",
+        "src/repro/runtime/port_model.py",
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        # A call to object.__hash__ reports once (parents are visited
+        # before children, so the Call claims its Attribute func).
+        claimed: set = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(module.imports, node)
+                if name == "object.__hash__":
+                    claimed.add(id(node.func))
+                if name == "id":
+                    yield self.finding(
+                        module,
+                        node,
+                        "id() exposes per-process object identity; anonymous "
+                        "algorithms must key on canonical values "
+                        "(labels, sort_key(), encodings) instead",
+                    )
+                elif name == "object.__hash__":
+                    yield self.finding(
+                        module,
+                        node,
+                        "object.__hash__ leaks object identity into "
+                        "algorithm-visible state",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "__hash__"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "object"
+                and id(node) not in claimed
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "object.__hash__ leaks object identity into "
+                    "algorithm-visible state",
+                )

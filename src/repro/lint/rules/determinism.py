@@ -1,0 +1,219 @@
+"""DET001/DET002 — the replay-determinism contracts.
+
+The reproduction's headline dynamic guarantee is byte-identical replay:
+the same seed (or the same recorded bit assignment) reproduces the same
+execution, the same canonical artifacts, the same JSON. Two static
+hazards can break it:
+
+* an *unseeded* randomness or wall-clock source anywhere outside the
+  tape layer (DET001) — every random bit must flow through a
+  :class:`repro.runtime.tape.BitSource` so it can be recorded and
+  replayed, and every timestamp must stay out of canonical output;
+* iteration order of an unordered collection leaking into a canonical
+  artifact (DET002) — ``set`` order depends on ``PYTHONHASHSEED`` for
+  strings, and dict views merely echo incidental construction order.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name, is_unordered_expr, iterable_of
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Dotted call targets that draw entropy or wall-clock time.  Module
+#: level ``random.*`` functions share one hidden global RNG; anything
+#: below bypasses the seeded-tape model entirely.
+_BANNED_CALLS = {
+    "os.urandom": "draws OS entropy",
+    "uuid.uuid1": "mixes host state and wall clock",
+    "uuid.uuid4": "draws OS entropy",
+    "time.time": "reads the wall clock",
+    "time.time_ns": "reads the wall clock",
+    "time.monotonic": "reads a clock",
+    "time.monotonic_ns": "reads a clock",
+    "time.perf_counter": "reads a clock",
+    "time.perf_counter_ns": "reads a clock",
+    "time.process_time": "reads a clock",
+    "time.process_time_ns": "reads a clock",
+    "datetime.datetime.now": "reads the wall clock",
+    "datetime.datetime.utcnow": "reads the wall clock",
+    "datetime.datetime.today": "reads the wall clock",
+    "datetime.date.today": "reads the wall clock",
+    "random.SystemRandom": "draws OS entropy",
+}
+
+_BANNED_PREFIXES = {
+    "secrets.": "draws OS entropy",
+}
+
+#: ``random.Random(seed)`` is the sanctioned way to build deterministic
+#: generators (graph builders, sweeps); only the *module-level*
+#: functions (global hidden state) and an unseeded ``Random()`` are
+#: nondeterminism sources.
+_RANDOM_MODULE_OK = {"random.Random"}
+
+
+@register
+class NoNondeterminismSources(Rule):
+    """DET001: randomness and clocks must flow through the tape layer."""
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    description = (
+        "nondeterminism source (module-level random, secrets, uuid1/4, "
+        "os.urandom, wall clocks) outside the tape layer and benchmarks"
+    )
+    # The tape layer is the one sanctioned entropy boundary; benchmark
+    # timing code measures wall time by design.
+    exclude = (
+        "src/repro/runtime/tape.py",
+        "benchmarks/",
+    )
+    #: Paths where *clock* reads are display-only by construction (the
+    #: examples print human-facing timings); entropy stays banned.  In
+    #: library code every clock read needs a per-line justification
+    #: (a repro-lint disable=RULE comment), see docs/LINT.md.
+    clock_exempt = ("examples/",)
+
+    def check(self, module) -> Iterator[Finding]:
+        clocks_ok = any(
+            module.relpath == pat or module.relpath.startswith(pat.rstrip("/") + "/")
+            for pat in self.clock_exempt
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(module.imports, node)
+            if name is None:
+                continue
+            if clocks_ok and name.startswith(("time.", "datetime.")):
+                continue
+            reason = None
+            if name in _BANNED_CALLS:
+                reason = _BANNED_CALLS[name]
+            elif name.startswith("random.") and name not in _RANDOM_MODULE_OK:
+                reason = "uses the hidden module-level RNG"
+            elif name == "random.Random" and not (node.args or node.keywords):
+                reason = "unseeded Random() seeds itself from OS entropy"
+            else:
+                for prefix, why in _BANNED_PREFIXES.items():
+                    if name.startswith(prefix):
+                        reason = why
+                        break
+            if reason is not None:
+                remedy = (
+                    "keep clock reads out of library code or justify the "
+                    "metrics-only read with a suppression comment"
+                    if "clock" in reason
+                    else "route randomness through repro.runtime.tape "
+                    "(BitSource) or take an explicit seed"
+                )
+                yield self.finding(
+                    module, node, f"call to {name}() {reason}; {remedy}"
+                )
+
+
+#: Order-sensitive sinks: constructs whose output depends on the
+#: iteration order of their (single) iterable argument.
+_ORDER_SENSITIVE_CALLS = {"tuple", "list", "enumerate", "iter", "next", "reversed"}
+
+#: Order-insensitive consumers: iterating an unordered collection into
+#: these is fine (sorted() is the sanctioned canonicalizer; the others
+#: are symmetric in their argument order).
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted", "len", "sum", "min", "max", "any", "all",
+    "set", "frozenset", "dict", "Counter", "collections.Counter",
+}
+
+
+@register
+class NoUnorderedIterationIntoCanonicalArtifacts(Rule):
+    """DET002: canonical artifacts must not inherit set/dict order."""
+
+    rule_id = "DET002"
+    severity = Severity.ERROR
+    description = (
+        "iteration over an unordered collection (set, dict view) feeding "
+        "an order-sensitive canonical artifact; wrap in sorted(...)"
+    )
+    # The layers that produce canonical artifacts: view encodings,
+    # factor/quotient graphs, graph encodings/canonical forms, and the
+    # analysis tables persisted into experiment JSON.
+    include = (
+        "src/repro/views/",
+        "src/repro/factor/",
+        "src/repro/graphs/",
+        "src/repro/analysis/",
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        # ast.walk visits parents before their children, so a sink call
+        # claims its comprehension argument before the comprehension is
+        # visited on its own — one finding per construct, not two.
+        claimed: set = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, claimed)
+            elif isinstance(node, ast.For):
+                yield from self._check_loop(module, node, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if id(node) in claimed:
+                    continue
+                # Loops *inside* list/generator comprehensions are
+                # order-sensitive in their product.
+                for gen in node.generators:
+                    yield from self._check_loop(module, node, gen.iter, comp=True)
+
+    def _check_call(self, module, call: ast.Call, claimed: set) -> Iterator[Finding]:
+        name = call_name(module.imports, call)
+        if name in _ORDER_INSENSITIVE_CALLS:
+            # sorted(x for x in {…}) and friends consume unordered input
+            # symmetrically; their comprehension argument is sanctioned.
+            for arg in call.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    claimed.add(id(arg))
+            return
+        sink = None
+        if name in _ORDER_SENSITIVE_CALLS:
+            sink = f"{name}(...)"
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "join"
+            and isinstance(call.func.value, ast.Constant)
+            and isinstance(call.func.value.value, str)
+        ):
+            sink = "str.join(...)"
+        if sink is None or not call.args:
+            return
+        arg = call.args[0]
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            claimed.add(id(arg))
+        source = is_unordered_expr(iterable_of(arg), module.imports)
+        if source is not None:
+            yield self.finding(
+                module,
+                call,
+                f"{sink} over {source}: iteration order is not canonical; "
+                "wrap the iterable in sorted(...) with a total key",
+            )
+
+    def _check_loop(
+        self, module, node, iter_expr: ast.AST, comp: bool = False
+    ) -> Iterator[Finding]:
+        # Plain `for` loops over dict views are overwhelmingly
+        # order-insensitive (building dicts/sets, accumulating counts),
+        # so only genuinely unordered *set* iteration is flagged there;
+        # dict views are flagged at order-sensitive sinks above.
+        source = is_unordered_expr(iter_expr, module.imports)
+        if source is None or "dict view" in source:
+            return
+        where = "comprehension" if comp else "for loop"
+        yield self.finding(
+            module,
+            node,
+            f"{where} iterates {source}: set order depends on PYTHONHASHSEED; "
+            "wrap the iterable in sorted(...) with a total key",
+        )

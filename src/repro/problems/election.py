@@ -19,7 +19,7 @@ problem class is kept here to delimit the theorem:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional
+from typing import Any
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.problems.problem import DistributedProblem, OutputLabeling
@@ -52,7 +52,7 @@ class _ElectionState:
     color: Any
     view: ViewTree  # my view built so far (depth = round + 1)
     round_number: int
-    output: Optional[str]
+    output: str | None
 
 
 class MinimalViewElection(AnonymousAlgorithm):
@@ -107,5 +107,5 @@ class MinimalViewElection(AnonymousAlgorithm):
         verdict = LEADER if my_alias is minimum else FOLLOWER
         return replace(state, view=grown, round_number=round_number, output=verdict)
 
-    def output(self, state: _ElectionState) -> Optional[str]:
+    def output(self, state: _ElectionState) -> str | None:
         return state.output

@@ -11,7 +11,7 @@ suite and the T1 experiment use as a sanity layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.exceptions import ProblemError
 from repro.graphs.labeled_graph import LabeledGraph

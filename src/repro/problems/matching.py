@@ -13,7 +13,6 @@ if distinct pairs happen to pick colliding tokens.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
 
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.problems.problem import DistributedProblem, OutputLabeling
@@ -32,7 +31,7 @@ class MaximalMatchingProblem(DistributedProblem):
 
     def is_valid_output(self, graph: LabeledGraph, outputs: OutputLabeling) -> bool:
         self.require_total(graph, outputs)
-        matched: List[Node] = []
+        matched: list[Node] = []
         for v in graph.nodes:
             value = outputs[v]
             if not isinstance(value, tuple) or not value:
@@ -54,7 +53,7 @@ class MaximalMatchingProblem(DistributedProblem):
 
         # Candidate partner edges: adjacent matched pairs with reciprocal
         # tokens.
-        candidates: Dict[Node, List[Node]] = {v: [] for v in matched}
+        candidates: dict[Node, list[Node]] = {v: [] for v in matched}
         for u, v in graph.edges():
             if outputs[u][0] == MATCHED and outputs[v][0] == MATCHED:
                 _, token_u, partner_u = outputs[u]
@@ -67,12 +66,12 @@ class MaximalMatchingProblem(DistributedProblem):
 
 
 def _perfect_pairing_exists(
-    matched: List[Node], candidates: Dict[Node, List[Node]]
+    matched: list[Node], candidates: dict[Node, list[Node]]
 ) -> bool:
     """Whether the matched nodes admit a perfect pairing along candidate
     edges.  Backtracking; candidate edges are nearly a perfect matching
     already in honest executions, so this is fast in practice."""
-    unpaired: Set[Node] = set(matched)
+    unpaired: set[Node] = set(matched)
 
     def backtrack() -> bool:
         if not unpaired:

@@ -18,7 +18,8 @@ unchanged (they are judged against the underlying instance).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.exceptions import ProblemError
 from repro.graphs.coloring import is_two_hop_coloring

@@ -24,7 +24,8 @@ factorizing maps.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 Message = Any
 State = Any
@@ -56,13 +57,13 @@ class AnonymousAlgorithm(ABC):
         """The value this node broadcasts to every neighbor this round."""
 
     @abstractmethod
-    def transition(self, state: State, received: Tuple[Message, ...], bits: str) -> State:
+    def transition(self, state: State, received: tuple[Message, ...], bits: str) -> State:
         """The next state.  ``received`` is the canonical (sorted) tuple of
         neighbor messages; ``bits`` is a string over ``{'0','1'}`` of
         length ``bits_per_round``."""
 
     @abstractmethod
-    def output(self, state: State) -> Optional[Any]:
+    def output(self, state: State) -> Any | None:
         """``None`` while undecided; otherwise the node's irrevocable output."""
 
     @property
@@ -100,10 +101,10 @@ class RandomizedShell(AnonymousAlgorithm):
     def message(self, state: State) -> Message:
         return self.inner.message(state)
 
-    def transition(self, state: State, received: Tuple[Message, ...], bits: str) -> State:
+    def transition(self, state: State, received: tuple[Message, ...], bits: str) -> State:
         return self.inner.transition(state, received, "")
 
-    def output(self, state: State) -> Optional[Any]:
+    def output(self, state: State) -> Any | None:
         return self.inner.output(state)
 
 
@@ -132,8 +133,8 @@ class FunctionAlgorithm(AnonymousAlgorithm):
         self,
         init: Callable[[Any, int], State],
         msg: Callable[[State], Message],
-        step: Callable[[State, Tuple[Message, ...], str], State],
-        out: Callable[[State], Optional[Any]],
+        step: Callable[[State, tuple[Message, ...], str], State],
+        out: Callable[[State], Any | None],
         bits_per_round: int = 0,
         name: str = "function-algorithm",
     ) -> None:
@@ -150,8 +151,8 @@ class FunctionAlgorithm(AnonymousAlgorithm):
     def message(self, state: State) -> Message:
         return self._msg(state)
 
-    def transition(self, state: State, received: Tuple[Message, ...], bits: str) -> State:
+    def transition(self, state: State, received: tuple[Message, ...], bits: str) -> State:
         return self._step(state, received, bits)
 
-    def output(self, state: State) -> Optional[Any]:
+    def output(self, state: State) -> Any | None:
         return self._out(state)

@@ -43,7 +43,8 @@ neighbor" is precisely the broadcast discipline's delivery guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.exceptions import RuntimeModelError
 from repro.runtime.algorithm import AnonymousAlgorithm
@@ -52,7 +53,7 @@ from repro.runtime.algorithm import AnonymousAlgorithm
 @dataclass(frozen=True)
 class _State:
     s1_state: Any
-    s1_output: Optional[Any]
+    s1_output: Any | None
     original_input: Any
     degree: int
     started_s2: bool
@@ -80,7 +81,7 @@ class TwoStageComposition(AnonymousAlgorithm):
         stage1: AnonymousAlgorithm,
         stage2: AnonymousAlgorithm,
         make_stage2_input: Callable[[Any, int, Any], Any],
-        name: Optional[str] = None,
+        name: str | None = None,
     ) -> None:
         self.stage1 = stage1
         self.stage2 = stage2
@@ -177,7 +178,7 @@ class TwoStageComposition(AnonymousAlgorithm):
             s2_prev_payload=my_payload,
         )
 
-    def output(self, state: _State) -> Optional[Any]:
+    def output(self, state: _State) -> Any | None:
         if not state.started_s2:
             return None
         return self.stage2.output(state.s2_state)

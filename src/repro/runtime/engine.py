@@ -36,16 +36,8 @@ import time
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Dict,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import (
     OutputAlreadySetError,
@@ -146,7 +138,7 @@ class ExecutionMetrics:
     rounds: int = 0
     messages_sent: int = 0
     bits_drawn: int = 0
-    decided_per_round: List[int] = field(default_factory=list)
+    decided_per_round: list[int] = field(default_factory=list)
     faults_injected: int = 0
     wall_s: float = 0.0
 
@@ -154,7 +146,7 @@ class ExecutionMetrics:
     def nodes_decided(self) -> int:
         return sum(self.decided_per_round)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "rounds": self.rounds,
             "messages_sent": self.messages_sent,
@@ -187,8 +179,8 @@ class EngineMetricsTotals:
         self.faults_injected += metrics.faults_injected
         self.wall_s += metrics.wall_s
 
-    def as_dict(self, include_wall: bool = True) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
+    def as_dict(self, include_wall: bool = True) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "executions": self.executions,
             "rounds": self.rounds,
             "messages_sent": self.messages_sent,
@@ -201,7 +193,7 @@ class EngineMetricsTotals:
         return payload
 
 
-_COLLECTORS: List[EngineMetricsTotals] = []
+_COLLECTORS: list[EngineMetricsTotals] = []
 
 
 @contextmanager
@@ -232,7 +224,7 @@ class RoundHook:
         pass
 
     def on_round(
-        self, engine: "ExecutionEngine", new_outputs: Dict[Node, Any]
+        self, engine: "ExecutionEngine", new_outputs: dict[Node, Any]
     ) -> None:  # pragma: no cover
         pass
 
@@ -255,13 +247,13 @@ class DeliveryDiscipline(ABC):
     @abstractmethod
     def emit(
         self, algorithm: Any, states: Mapping[Node, Any], graph: LabeledGraph
-    ) -> Dict[Node, Any]:
+    ) -> dict[Node, Any]:
         """Each node's outbox for this round (validated)."""
 
     @abstractmethod
     def inbox(
         self, outboxes: Mapping[Node, Any], node: Node, graph: LabeledGraph
-    ) -> Tuple[Any, ...]:
+    ) -> tuple[Any, ...]:
         """The tuple handed to ``node``'s transition this round."""
 
 
@@ -332,11 +324,11 @@ class ExecutionResult:
         code outside the engine).
     """
 
-    outputs: Dict[Node, Any]
+    outputs: dict[Node, Any]
     rounds: int
     all_decided: bool
-    trace: Optional[ExecutionTrace]
-    metrics: Optional[ExecutionMetrics] = None
+    trace: ExecutionTrace | None
+    metrics: ExecutionMetrics | None = None
 
     @property
     def successful(self) -> bool:
@@ -344,7 +336,7 @@ class ExecutionResult:
         rounds the run could fund (alias of ``all_decided``)."""
         return self.all_decided
 
-    def output_labeling(self) -> Dict[Node, Any]:
+    def output_labeling(self) -> dict[Node, Any]:
         """The output labeling ``o``; raises if some node is undecided."""
         if not self.all_decided:
             missing = self.rounds  # for the message only
@@ -368,7 +360,7 @@ class ExecutionEngine:
         graph: LabeledGraph,
         tapes: Mapping[Node, BitSource],
         delivery: DeliveryDiscipline,
-        policy: Optional[ExecutionPolicy] = None,
+        policy: ExecutionPolicy | None = None,
         hooks: Sequence[RoundHook] = (),
     ) -> None:
         missing = [v for v in graph.nodes if v not in tapes]
@@ -380,11 +372,11 @@ class ExecutionEngine:
         self._delivery = delivery
         self._policy = policy or ExecutionPolicy()
         self._hooks = list(hooks)
-        self._states: Dict[Node, Any] = {
+        self._states: dict[Node, Any] = {
             v: algorithm.init_state(graph.label(v), graph.degree(v))
             for v in graph.nodes
         }
-        self._outputs: Dict[Node, Any] = {}
+        self._outputs: dict[Node, Any] = {}
         self._rounds = 0
         self._trace = (
             ExecutionTrace(algorithm.name) if self._policy.trace != "off" else None
@@ -446,8 +438,8 @@ class ExecutionEngine:
             )
         graph, algorithm = self._graph, self._algorithm
         outboxes = self._delivery.emit(algorithm, self._states, graph)
-        bits_drawn: Dict[Node, str] = {}
-        new_states: Dict[Node, Any] = {}
+        bits_drawn: dict[Node, str] = {}
+        new_states: dict[Node, Any] = {}
         for v in graph.nodes:
             received = self._delivery.inbox(outboxes, v, graph)
             bits = self._tapes[v].draw(algorithm.bits_per_round)
@@ -470,7 +462,7 @@ class ExecutionEngine:
         for hook in self._hooks:
             hook.on_round(self, new_outputs)
 
-    def _note_outputs(self, bits_drawn: Dict[Node, str]) -> Dict[Node, Any]:
+    def _note_outputs(self, bits_drawn: dict[Node, str]) -> dict[Node, Any]:
         """Register newly decided nodes, enforcing irrevocability.
 
         The single source of truth for output enforcement: an output may
@@ -478,7 +470,7 @@ class ExecutionEngine:
         ``None`` — and violations name the node, both values and the
         round, whichever delivery discipline is running.
         """
-        new_outputs: Dict[Node, Any] = {}
+        new_outputs: dict[Node, Any] = {}
         for v in self._graph.nodes:
             value = self._algorithm.output(self._states[v])
             if v in self._outputs:
@@ -492,13 +484,14 @@ class ExecutionEngine:
                 new_outputs[v] = value
         return new_outputs
 
-    def run(self, max_rounds: Optional[int] = None) -> ExecutionResult:
+    def run(self, max_rounds: int | None = None) -> ExecutionResult:
         """Run until all nodes decide, tapes run dry, or the round limit."""
         if max_rounds is None:
             max_rounds = self._policy.max_rounds
         if max_rounds < 0:
             raise RuntimeModelError(f"max_rounds must be nonnegative, got {max_rounds}")
-        start = time.perf_counter()
+        # wall_s is a metrics-only field, stripped from canonical results.
+        start = time.perf_counter()  # repro-lint: disable=DET001 -- wall-time metric only
         for hook in self._hooks:
             hook.on_start(self)
         while (
@@ -507,7 +500,7 @@ class ExecutionEngine:
             and (not self._policy.stop_before_unfunded or self.can_fund_round())
         ):
             self.step()
-        self._metrics.wall_s += time.perf_counter() - start
+        self._metrics.wall_s += time.perf_counter() - start  # repro-lint: disable=DET001 -- wall-time metric only
         result = ExecutionResult(
             outputs=dict(self._outputs),
             rounds=self._rounds,
@@ -532,7 +525,7 @@ class ExecutionEngine:
 # injection, if any, letting that injection wrap the resolved delivery,
 # tapes and hooks.  When repro.faults is never imported the provider
 # stays None and execute() pays a single `is None` check.
-_INJECTION_PROVIDER: Optional[Any] = None
+_INJECTION_PROVIDER: Any | None = None
 
 
 def register_injection_provider(provider: Any) -> None:
@@ -560,14 +553,14 @@ def execute(
     algorithm: Any,
     graph: LabeledGraph,
     *,
-    tapes: Optional[Mapping[Node, BitSource]] = None,
-    assignment: Optional[Mapping[Node, str]] = None,
-    seed: Optional[int] = None,
-    delivery: Optional[DeliveryDiscipline] = None,
-    max_rounds: Optional[int] = None,
+    tapes: Mapping[Node, BitSource] | None = None,
+    assignment: Mapping[Node, str] | None = None,
+    seed: int | None = None,
+    delivery: DeliveryDiscipline | None = None,
+    max_rounds: int | None = None,
     record_trace: "bool | str | None" = None,
     require_decided: bool = False,
-    policy: Optional[ExecutionPolicy] = None,
+    policy: ExecutionPolicy | None = None,
     hooks: Sequence[RoundHook] = (),
 ) -> ExecutionResult:
     """Run ``algorithm`` on ``graph`` through the unified kernel.
@@ -600,7 +593,7 @@ def execute(
         )
 
     bits_per_round = algorithm.bits_per_round
-    funded_limit: Optional[int] = None
+    funded_limit: int | None = None
     if assignment is not None:
         missing = [v for v in graph.nodes if v not in assignment]
         if missing:

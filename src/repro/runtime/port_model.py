@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import RuntimeModelError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -66,11 +67,11 @@ class PortAwareAlgorithm(ABC):
         """The payload to send on each port, in port order."""
 
     @abstractmethod
-    def transition(self, state: Any, received: Tuple[Any, ...], bits: str) -> Any:
+    def transition(self, state: Any, received: tuple[Any, ...], bits: str) -> Any:
         """``received[i]`` is the payload that arrived on port ``i``."""
 
     @abstractmethod
-    def output(self, state: Any) -> Optional[Any]: ...
+    def output(self, state: Any) -> Any | None: ...
 
 
 class PortScheduler(ExecutionEngine):
@@ -115,11 +116,11 @@ class PortScheduler(ExecutionEngine):
 class _EmulationState:
     phase: str  # "hello" | "steady"
     color: Any
-    neighbor_colors: Tuple[Any, ...]  # sorted; index = virtual port
+    neighbor_colors: tuple[Any, ...]  # sorted; index = virtual port
     inner: Any
 
 
-def _color_key(color: Any) -> Tuple[str, str]:
+def _color_key(color: Any) -> tuple[str, str]:
     return (type(color).__name__, repr(color))
 
 
@@ -180,7 +181,7 @@ class PortEmulation(AnonymousAlgorithm):
                 neighbor_colors=colors,
                 inner=state.inner,
             )
-        by_port: Dict[int, Any] = {}
+        by_port: dict[int, Any] = {}
         port_of = {c: i for i, c in enumerate(state.neighbor_colors)}
         for message in received:
             _tag, sender_color, addressed = message
@@ -198,7 +199,7 @@ class PortEmulation(AnonymousAlgorithm):
             inner=new_inner,
         )
 
-    def output(self, state: _EmulationState) -> Optional[Any]:
+    def output(self, state: _EmulationState) -> Any | None:
         if state.phase == "hello":
             return None
         return self.inner.output(state.inner)

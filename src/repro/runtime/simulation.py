@@ -19,7 +19,8 @@ the unified kernel — kept for their narrower signatures and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 from repro.exceptions import SimulationError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -38,10 +39,10 @@ class SimulationResult:
     output within the rounds funded by the assignment.
     """
 
-    outputs: Dict[Node, Any]
+    outputs: dict[Node, Any]
     rounds: int
     successful: bool
-    trace: Optional[ExecutionTrace]
+    trace: ExecutionTrace | None
 
     def output_of(self, node: Node) -> Any:
         if node not in self.outputs:

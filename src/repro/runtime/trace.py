@@ -8,7 +8,7 @@ round), and round/bit accounting in the analysis harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from repro.graphs.labeled_graph import Node
 
@@ -30,9 +30,9 @@ class RoundRecord:
     """
 
     round_number: int
-    sent: Dict[Node, Any]
-    bits: Dict[Node, str]
-    new_outputs: Dict[Node, Any]
+    sent: dict[Node, Any]
+    bits: dict[Node, str]
+    new_outputs: dict[Node, Any]
 
 
 @dataclass
@@ -40,7 +40,7 @@ class ExecutionTrace:
     """The full record of an execution."""
 
     algorithm_name: str
-    rounds: List[RoundRecord] = field(default_factory=list)
+    rounds: list[RoundRecord] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -50,20 +50,20 @@ class ExecutionTrace:
         """All bits node ``node`` drew, concatenated in round order."""
         return "".join(record.bits.get(node, "") for record in self.rounds)
 
-    def assignment(self) -> Dict[Node, str]:
+    def assignment(self) -> dict[Node, str]:
         """The bit assignment ``b`` that induces (replays) this execution."""
         nodes: set = set()
         for record in self.rounds:
             nodes.update(record.bits)
         return {node: self.bits_of(node) for node in sorted(nodes, key=repr)}
 
-    def output_round(self, node: Node) -> Optional[int]:
+    def output_round(self, node: Node) -> int | None:
         """The round in which ``node`` set its output, or ``None``."""
         for record in self.rounds:
             if node in record.new_outputs:
                 return record.round_number
         return None
 
-    def messages_of(self, node: Node) -> Tuple[Any, ...]:
+    def messages_of(self, node: Node) -> tuple[Any, ...]:
         """The messages ``node`` broadcast, in round order."""
         return tuple(record.sent[node] for record in self.rounds if node in record.sent)

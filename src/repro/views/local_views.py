@@ -22,7 +22,6 @@ are identical to the per-node construction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ViewError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -40,18 +39,18 @@ class ViewBuilder:
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
-        self._levels: List[Dict[Node, ViewTree]] = []
-        self._counts: List[int] = []
+        self._levels: list[dict[Node, ViewTree]] = []
+        self._counts: list[int] = []
         # Labels and their interned mark ids never change across levels;
         # resolve them once and use the pre-ranked intern fast path.
-        self._marks: Dict[Node, object] = {v: graph.label(v) for v in graph.nodes}
-        self._mark_ids: Dict[Node, int] = {
+        self._marks: dict[Node, object] = {v: graph.label(v) for v in graph.nodes}
+        self._mark_ids: dict[Node, int] = {
             v: view_tree._mark_id_of(mark) for v, mark in self._marks.items()
         }
         # Once the partition is stable: members and a representative per
         # class, in a fixed order, for per-class level extension.
-        self._class_members: Optional[List[List[Node]]] = None
-        self._class_reps: Optional[List[Node]] = None
+        self._class_members: list[list[Node]] | None = None
+        self._class_reps: list[Node] | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -90,10 +89,14 @@ class ViewBuilder:
         if count == self._counts[-2]:
             # The new level split nothing: the view partition is stable
             # (deepening only refines), so freeze the classes.
-            groups: Dict[int, List[Node]] = {}
+            groups: dict[int, list[Node]] = {}
             for v in graph.nodes:
                 groups.setdefault(id(level[v]), []).append(v)
-            self._class_members = list(groups.values())
+            # groups is keyed by first occurrence along graph.nodes (a
+            # deterministic tuple), so .values() order is the canonical
+            # class enumeration order — sorting would change the
+            # class-index contract all_views clients rely on.
+            self._class_members = list(groups.values())  # repro-lint: disable=DET002
             self._class_reps = [members[0] for members in self._class_members]
 
     def _ensure(self, depth: int) -> None:
@@ -104,7 +107,7 @@ class ViewBuilder:
 
     # -- queries --------------------------------------------------------
 
-    def views(self, depth: int) -> Dict[Node, ViewTree]:
+    def views(self, depth: int) -> dict[Node, ViewTree]:
         """The views ``L_depth(v)`` for every node (a fresh dict)."""
         self._ensure(depth)
         return dict(self._levels[depth - 1])
@@ -119,12 +122,12 @@ class ViewBuilder:
                 return depth
             depth += 1
 
-    def partition(self, depth: int) -> List[Tuple[Node, ...]]:
+    def partition(self, depth: int) -> list[tuple[Node, ...]]:
         """Nodes grouped by equal depth-``depth`` views, groups ordered by
         the structural view order of their representative trees."""
         views = self.views(depth)
-        groups: Dict[int, List[Node]] = {}
-        representative: Dict[int, ViewTree] = {}
+        groups: dict[int, list[Node]] = {}
+        representative: dict[int, ViewTree] = {}
         for v in self.graph.nodes:
             tree = views[v]
             groups.setdefault(id(tree), []).append(v)
@@ -137,7 +140,7 @@ class ViewBuilder:
 # their graph (so ids stay valid) and are evicted oldest-first; the
 # registry is emptied by ``repro.views.view_tree.clear_caches`` because
 # cached levels hold interned trees.
-_BUILDERS: "OrderedDict[int, Tuple[LabeledGraph, ViewBuilder]]" = OrderedDict()
+_BUILDERS: "OrderedDict[int, tuple[LabeledGraph, ViewBuilder]]" = OrderedDict()
 _BUILDER_CACHE_SIZE = 8
 
 view_tree.register_cache_clearer(_BUILDERS.clear)
@@ -158,7 +161,7 @@ def view_builder(graph: LabeledGraph) -> ViewBuilder:
     return builder
 
 
-def all_views(graph: LabeledGraph, depth: int) -> Dict[Node, ViewTree]:
+def all_views(graph: LabeledGraph, depth: int) -> dict[Node, ViewTree]:
     """The views ``L_depth(v, graph)`` for every node ``v``."""
     return view_builder(graph).views(depth)
 
@@ -170,7 +173,7 @@ def view(graph: LabeledGraph, v: Node, depth: int) -> ViewTree:
     return all_views(graph, depth)[v]
 
 
-def view_partition(graph: LabeledGraph, depth: int) -> List[Tuple[Node, ...]]:
+def view_partition(graph: LabeledGraph, depth: int) -> list[tuple[Node, ...]]:
     """Nodes grouped by equal depth-``depth`` views, each group sorted,
     groups ordered by the view order.
 

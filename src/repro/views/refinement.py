@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
 from repro.views import view_tree
@@ -38,7 +37,7 @@ from repro.views import view_tree
 # Memoized uncapped runs: id(graph) -> (graph pinned, result).  Same
 # LRU discipline as the ViewBuilder registry; cleared with the view
 # caches so benchmark sessions stay bounded.
-_RESULT_CACHE: "OrderedDict[int, Tuple[LabeledGraph, RefinementResult]]" = OrderedDict()
+_RESULT_CACHE: "OrderedDict[int, tuple[LabeledGraph, RefinementResult]]" = OrderedDict()
 _RESULT_CACHE_SIZE = 16
 
 view_tree.register_cache_clearer(_RESULT_CACHE.clear)
@@ -71,9 +70,9 @@ class RefinementResult:
         is the partition after exactly ``max_rounds`` rounds.
     """
 
-    classes: Dict[Node, int]
+    classes: dict[Node, int]
     rounds_to_stable: int
-    history: Tuple[int, ...]
+    history: tuple[int, ...]
     stable: bool = True
 
     @property
@@ -118,8 +117,8 @@ def color_refinement(
     # form, so numbering is deterministic and independent of node ids.
     initial = [repr(_freeze(graph.label(v))) for v in nodes]
     seed_palette = {key: i for i, key in enumerate(sorted(set(initial)))}
-    color: List[int] = [seed_palette[key] for key in initial]
-    history: List[int] = [len(seed_palette)]
+    color: list[int] = [seed_palette[key] for key in initial]
+    history: list[int] = [len(seed_palette)]
     rounds = 0
     stable = len(seed_palette) == num_nodes  # discrete partitions are stable
     limit = num_nodes if max_rounds is None else max_rounds
@@ -153,10 +152,10 @@ def color_refinement(
     return result
 
 
-def refinement_partition(graph: LabeledGraph) -> List[Tuple[Node, ...]]:
+def refinement_partition(graph: LabeledGraph) -> list[tuple[Node, ...]]:
     """Nodes grouped by stable refinement class (= equal ``L_∞`` views)."""
     result = color_refinement(graph)
-    groups: Dict[int, List[Node]] = {}
+    groups: dict[int, list[Node]] = {}
     for v in graph.nodes:
         groups.setdefault(result.classes[v], []).append(v)
     return [tuple(groups[c]) for c in sorted(groups)]

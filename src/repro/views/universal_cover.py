@@ -11,7 +11,6 @@ itself; tests confirm the stated relationship
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.exceptions import ViewError
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -30,7 +29,7 @@ def universal_cover_ball(graph: LabeledGraph, base: Node, radius: int) -> ViewTr
 
 
 def _ball(
-    graph: LabeledGraph, node: Node, parent: Optional[Node], remaining: int
+    graph: LabeledGraph, node: Node, parent: Node | None, remaining: int
 ) -> ViewTree:
     if remaining == 0:
         return ViewTree.leaf(graph.label(node))
@@ -57,7 +56,7 @@ def view_to_cover_ball(view_tree: ViewTree) -> ViewTree:
     return _prune(view_tree, back=None)
 
 
-def _prune(tree: ViewTree, back: Optional[ViewTree]) -> ViewTree:
+def _prune(tree: ViewTree, back: ViewTree | None) -> ViewTree:
     children = list(tree.children)
     if back is not None:
         for i, child in enumerate(children):

@@ -37,39 +37,40 @@ per neighbor.  Three design points matter:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 from repro.graphs.labeled_graph import _freeze
 
 # Interned trees: (mark id, child object ids) -> tree.  Children are
 # already canonically ordered when the key is formed, so structural
 # equality coincides with key equality.
-_INTERN: Dict[Tuple[int, Tuple[int, ...]], "ViewTree"] = {}
-_TRUNCATE_CACHE: Dict[Tuple[int, int], "ViewTree"] = {}
+_INTERN: dict[tuple[int, tuple[int, ...]], "ViewTree"] = {}
+_TRUNCATE_CACHE: dict[tuple[int, int], "ViewTree"] = {}
 
 # Mark-key table: each distinct serialized mark (``repr(_freeze(mark))``)
 # gets a *mark id* (arbitrary, stable) and a *mark rank* (dense, ordered
 # like the key strings).  The expensive ``repr`` runs once per distinct
 # mark; every later intern is a dict hit.
-_MARK_ID_BY_FROZEN: Dict[Any, int] = {}
-_MARK_ID_BY_KEY: Dict[str, int] = {}
-_MARK_KEYS: List[str] = []  # mark id -> serialized key
-_MARK_RANK: List[int] = []  # mark id -> dense rank, ordered like the keys
-_MARK_SORTED_KEYS: List[str] = []  # keys in sorted order
-_MARK_SORTED_IDS: List[int] = []  # ids in key-sorted order
+_MARK_ID_BY_FROZEN: dict[Any, int] = {}
+_MARK_ID_BY_KEY: dict[str, int] = {}
+_MARK_KEYS: list[str] = []  # mark id -> serialized key
+_MARK_RANK: list[int] = []  # mark id -> dense rank, ordered like the keys
+_MARK_SORTED_KEYS: list[str] = []  # keys in sorted order
+_MARK_SORTED_IDS: list[int] = []  # ids in key-sorted order
 
 # Rank buckets: (depth, mark id) -> trees sorted by the lexicographic
 # order of their child rank sequences.  A tree's ``_bucket_rank`` is its
 # index in its bucket, so (depth, mark rank, bucket rank) compared as an
 # integer triple realizes the structural total order.
-_BUCKETS: Dict[Tuple[int, int], List["ViewTree"]] = {}
+_BUCKETS: dict[tuple[int, int], list["ViewTree"]] = {}
 
 _STATS = {"mark_renumbers": 0, "bucket_shifts": 0}
 
 # Caches elsewhere (e.g. the ViewBuilder registry in local_views) hold
 # interned trees; clear_caches() must empty them too or stale trees with
 # dangling ranks would leak into fresh interning epochs.
-_CACHE_CLEAR_HOOKS: List[Callable[[], None]] = []
+_CACHE_CLEAR_HOOKS: list[Callable[[], None]] = []
 
 
 def register_cache_clearer(hook: Callable[[], None]) -> None:
@@ -111,11 +112,11 @@ def _mark_id_of(mark: Any) -> int:
     return mark_id
 
 
-def _rank_key(tree: "ViewTree") -> Tuple[int, int, int]:
+def _rank_key(tree: "ViewTree") -> tuple[int, int, int]:
     return (tree.depth, _MARK_RANK[tree._mark_id], tree._bucket_rank)
 
 
-def _children_key(tree: "ViewTree") -> Tuple[Tuple[int, int, int], ...]:
+def _children_key(tree: "ViewTree") -> tuple[tuple[int, int, int], ...]:
     return tuple(
         (c.depth, _MARK_RANK[c._mark_id], c._bucket_rank) for c in tree.children
     )
@@ -178,11 +179,11 @@ class ViewTree:
     __slots__ = ("mark", "children", "depth", "size", "_mark_id", "_bucket_rank", "__weakref__")
 
     mark: Any
-    children: Tuple["ViewTree", ...]
+    children: tuple["ViewTree", ...]
     depth: int
     size: int
 
-    def __init__(self, mark: Any, children: Tuple["ViewTree", ...], _token: object) -> None:
+    def __init__(self, mark: Any, children: tuple["ViewTree", ...], _token: object) -> None:
         if _token is not _MAKE_TOKEN:
             raise TypeError("use ViewTree.make(mark, children) — trees are interned")
         self.mark = mark
@@ -230,7 +231,7 @@ class ViewTree:
         # always have distinct bucket ranks.
         return -1 if a._bucket_rank < b._bucket_rank else 1
 
-    def sort_key(self) -> Tuple[int, int, int]:
+    def sort_key(self) -> tuple[int, int, int]:
         """A key usable with ``sorted``: the canonical rank triple.
 
         Keys are valid for comparisons among trees alive now; interning
@@ -278,7 +279,7 @@ class ViewTree:
     def subtrees(self) -> Iterator["ViewTree"]:
         """All distinct subtrees (including self), each yielded once."""
         seen: set = set()
-        stack: List[ViewTree] = [self]
+        stack: list[ViewTree] = [self]
         while stack:
             tree = stack.pop()
             if id(tree) in seen:
@@ -287,17 +288,17 @@ class ViewTree:
             yield tree
             stack.extend(tree.children)
 
-    def level_marks(self, level: int) -> Tuple[Any, ...]:
+    def level_marks(self, level: int) -> tuple[Any, ...]:
         """The marks at tree depth ``level`` (root is level 1), in canonical
         child order — the per-level data the paper compares views by."""
         if level < 1:
             raise ValueError(f"level must be at least 1, got {level}")
-        current: List[ViewTree] = [self]
+        current: list[ViewTree] = [self]
         for _ in range(level - 1):
             current = [child for tree in current for child in tree.children]
         return tuple(tree.mark for tree in current)
 
-    def render(self, max_depth: Optional[int] = None, indent: str = "") -> str:
+    def render(self, max_depth: int | None = None, indent: str = "") -> str:
         """Human-readable multi-line rendering (used to print Figure 1)."""
         lines = [f"{indent}{self.mark!r}"]
         if max_depth is None or max_depth > 1:
@@ -337,7 +338,7 @@ def clear_caches() -> None:
         hook()
 
 
-def intern_stats() -> Dict[str, int]:
+def intern_stats() -> dict[str, int]:
     """Sizes of the intern/rank tables (for perf diagnostics)."""
     return {
         "trees": len(_INTERN),

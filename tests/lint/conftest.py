@@ -1,0 +1,46 @@
+"""Helpers for the invariant-analyzer tests.
+
+The fixtures build synthetic source trees under ``tmp_path`` that
+mirror the repo layout (``src/repro/...``), because rule scoping is
+path-based: a DET002 fixture must live under ``src/repro/views/`` to
+be in scope, exactly as in the real tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, run_lint
+from repro.lint.baseline import Baseline
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a dict of relpath -> source and lint it."""
+
+    def run(
+        files: dict[str, str],
+        *,
+        select=(),
+        baseline: Baseline = None,
+        warn_only: bool = False,
+    ):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return run_lint(
+            [tmp_path],
+            tmp_path,
+            select=select,
+            baseline=baseline,
+            warn_only=warn_only,
+        )
+
+    return run
+
+
+def rules_of(findings: list[Finding]) -> list[str]:
+    return [f.rule for f in findings]

@@ -1,0 +1,140 @@
+"""Baseline round-trips: record findings, fail only on new ones,
+expire entries whose finding disappeared, preserve notes on rewrite."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.baseline import Baseline, BaselineError
+
+VIOLATING = "import random\nx = random.random()\n"
+CLEAN = "x = 1\n"
+SECOND_VIOLATION = (
+    "import random\nx = random.random()\ny = random.randint(1, 2)\n"
+)
+
+
+def _write_tree(tmp_path, files):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+def test_baselined_findings_do_not_fail(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    first = run_lint([tmp_path], tmp_path)
+    assert first.exit_code == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline = Baseline.from_findings(baseline_path, first.findings)
+    baseline.write()
+
+    second = run_lint(
+        [tmp_path], tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert second.exit_code == 0
+    assert [f.baselined for f in second.findings] == [True]
+    assert second.counts["baselined"] == 1
+    assert second.counts["error"] == 0
+
+
+def test_new_finding_fails_despite_baseline(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    first = run_lint([tmp_path], tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(baseline_path, first.findings).write()
+
+    _write_tree(tmp_path, {"src/repro/core/sample.py": SECOND_VIOLATION})
+    second = run_lint(
+        [tmp_path], tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert second.exit_code == 1
+    new = [f for f in second.findings if not f.baselined]
+    assert len(new) == 1 and new[0].line == 3
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    first = run_lint([tmp_path], tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(baseline_path, first.findings).write()
+
+    # Unrelated edits above the finding move it down two lines.
+    _write_tree(
+        tmp_path,
+        {"src/repro/core/sample.py": "A = 1\nB = 2\n" + VIOLATING},
+    )
+    second = run_lint(
+        [tmp_path], tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert second.exit_code == 0
+    assert second.counts["baselined"] == 1
+
+
+def test_fixed_finding_expires_baseline_entry(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    first = run_lint([tmp_path], tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(baseline_path, first.findings).write()
+
+    _write_tree(tmp_path, {"src/repro/core/sample.py": CLEAN})
+    second = run_lint(
+        [tmp_path], tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert second.exit_code == 0
+    assert len(second.expired_baseline) == 1
+    assert second.expired_baseline[0]["rule"] == "DET001"
+    assert "stale" in second.render()
+
+
+def test_rewrite_preserves_notes_and_drops_expired(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/sample.py": SECOND_VIOLATION})
+    first = run_lint([tmp_path], tmp_path)
+    assert len(first.findings) == 2
+    baseline_path = tmp_path / "baseline.json"
+    baseline = Baseline.from_findings(baseline_path, first.findings)
+    # Attach a human justification to the entry that will survive.
+    surviving = [e for e in baseline.entries if "random.random" in e["message"]]
+    assert len(surviving) == 1
+    surviving[0]["note"] = "legacy sampler, tracked in #123"
+    baseline.write()
+
+    # The second violation gets fixed; rewrite the baseline.
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    rerun = run_lint([tmp_path], tmp_path)
+    rewritten = Baseline.from_findings(
+        baseline_path, rerun.findings, previous=Baseline.load(baseline_path)
+    )
+    rewritten.write()
+
+    final = Baseline.load(baseline_path)
+    assert len(final.entries) == 1
+    assert final.entries[0]["note"] == "legacy sampler, tracked in #123"
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+    path.write_text(json.dumps({"entries": [{"rule": "DET001"}]}), encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == []
+
+
+def test_shipped_baseline_is_empty():
+    """The repo maintains an empty baseline: every finding is either
+    fixed or carries an inline justified suppression (docs/LINT.md)."""
+    shipped = Path(__file__).resolve().parents[2] / "LINT_BASELINE.json"
+    payload = json.loads(shipped.read_text(encoding="utf-8"))
+    assert payload["entries"] == []

@@ -1,0 +1,154 @@
+"""CLI contract: stable exit codes, JSON report schema, flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.__main__ import main
+from repro.lint.analyzer import REPORT_SCHEMA_VERSION
+from repro.lint.registry import known_rule_ids
+
+VIOLATING = "import random\nx = random.random()\n"
+CLEAN = "x = 1\n"
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", CLEAN)
+    code = main([str(tmp_path / "src"), "--root", str(tmp_path)])
+    assert code == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", VIOLATING)
+    code = main([str(tmp_path / "src"), "--root", str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "src/repro/core/sample.py:2" in out
+
+
+def test_exit_two_on_usage_errors(tmp_path, capsys):
+    assert main(["--root", str(tmp_path / "nowhere")]) == 2
+    assert main([str(tmp_path / "missing.py"), "--root", str(tmp_path)]) == 2
+    assert main(["--select", "NOPE999", "--list-rules"]) == 2
+    _write(tmp_path, "src/x.py", CLEAN)
+    assert (
+        main([str(tmp_path), "--root", str(tmp_path), "--write-baseline"]) == 2
+    )
+    bad = _write(tmp_path, "bad_baseline.json", "{broken")
+    assert (
+        main([str(tmp_path), "--root", str(tmp_path), "--baseline", str(bad)])
+        == 2
+    )
+    capsys.readouterr()  # drain
+
+
+def test_warn_only_reports_but_passes(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", VIOLATING)
+    code = main(
+        [str(tmp_path / "src"), "--root", str(tmp_path), "--warn-only"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DET001" in out and "warn-only" in out
+
+
+def test_json_report_schema(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", VIOLATING)
+    out_file = tmp_path / "report.json"
+    code = main(
+        [
+            str(tmp_path / "src"),
+            "--root",
+            str(tmp_path),
+            "--json",
+            str(out_file),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["exit_code"] == 1
+    assert set(payload["counts"]) == {
+        "error",
+        "warning",
+        "baselined",
+        "suppressed",
+        "files",
+    }
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "col",
+        "message",
+        "fingerprint",
+        "baselined",
+    }
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == "src/repro/core/sample.py"
+    assert {r["id"] for r in payload["rules"]} >= {"DET001", "DET002"}
+    assert payload["baseline"] == {"path": None, "expired": []}
+
+
+def test_json_to_stdout(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", CLEAN)
+    code = main([str(tmp_path / "src"), "--root", str(tmp_path), "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+
+
+def test_write_baseline_roundtrip_via_cli(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/sample.py", VIOLATING)
+    baseline = tmp_path / "baseline.json"
+    args = [str(tmp_path / "src"), "--root", str(tmp_path)]
+    assert main([*args, "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert main([*args, "--baseline", str(baseline)]) == 0
+    # Without the baseline the violation still fails: nothing was fixed.
+    assert main(args) == 1
+    capsys.readouterr()
+
+
+def test_select_filters_rules(tmp_path, capsys):
+    _write(
+        tmp_path,
+        "src/repro/views/sample.py",
+        "import random\nx = random.random()\ny = list({1: 2}.values())\n",
+    )
+    code = main(
+        [
+            str(tmp_path / "src"),
+            "--root",
+            str(tmp_path),
+            "--select",
+            "DET002",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out and "DET001" not in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in known_rule_ids():
+        assert rule_id in out
+
+
+@pytest.mark.parametrize("rule_id", ["DET001", "DET002", "DET003", "ENG001", "WALL001"])
+def test_catalogue_covers_issue_rules(rule_id):
+    assert rule_id in known_rule_ids()

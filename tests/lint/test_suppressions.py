@@ -1,0 +1,143 @@
+"""Suppression comments: same-line, standalone-above, file-wide, and
+the unused-suppression warning (LINT001)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rules_of
+
+VIOLATION = "import random\nx = random.random()"
+
+
+def test_same_line_suppression(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "import random\n"
+                "x = random.random()  # repro-lint: disable=DET001 -- test fixture\n"
+            )
+        }
+    )
+    assert report.findings == [], report.render()
+    assert report.suppressed_count == 1
+
+
+def test_standalone_comment_suppresses_next_line(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "import random\n"
+                "# repro-lint: disable=DET001 -- justified for the test\n"
+                "x = random.random()\n"
+            )
+        }
+    )
+    assert report.findings == [], report.render()
+
+
+def test_trailing_comment_does_not_cover_next_line(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "import random\n"
+                "y = 1  # repro-lint: disable=DET001\n"
+                "x = random.random()\n"
+            )
+        }
+    )
+    # The violation on line 3 is NOT covered (the comment trails code on
+    # line 2), and the suppression itself is unused.
+    assert sorted(rules_of(report.findings)) == ["DET001", "LINT001"]
+
+
+def test_suppression_is_rule_specific(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "import random\n"
+                "x = random.random()  # repro-lint: disable=DET002\n"
+            )
+        },
+        select=["DET001"],
+    )
+    assert rules_of(report.findings) == ["DET001"]
+
+
+def test_disable_all_on_line(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "import random\n"
+                "x = random.random()  # repro-lint: disable=all\n"
+            )
+        },
+        select=["DET001"],
+    )
+    assert report.findings == [], report.render()
+
+
+def test_disable_file(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "# repro-lint: disable-file=DET001 -- generated sample\n"
+                "import random\n"
+                "x = random.random()\n"
+                "y = random.randint(1, 2)\n"
+            )
+        }
+    )
+    assert report.findings == [], report.render()
+    assert report.suppressed_count == 2
+
+
+def test_multiple_rules_one_comment(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/views/sample.py": (
+                "import random\n"
+                "x = list({random.random()}.values())  "
+                "# repro-lint: disable=DET001,DET002\n"
+            )
+        },
+        select=["DET001", "DET002"],
+    )
+    assert report.findings == [], report.render()
+
+
+def test_unused_suppression_is_warned(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "x = 1  # repro-lint: disable=DET001 -- nothing here\n"
+            )
+        }
+    )
+    assert rules_of(report.findings) == ["LINT001"]
+    # Warnings never fail the gate.
+    assert report.exit_code == 0
+
+
+def test_unused_suppression_silent_on_filtered_runs(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                "x = 1  # repro-lint: disable=DET002\n"
+            )
+        },
+        select=["DET001"],
+    )
+    assert report.findings == [], report.render()
+
+
+def test_suppression_comment_inside_string_is_inert(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/core/sample.py": (
+                'DOC = "# repro-lint: disable=DET001"\n'
+                "import random\n"
+                "x = random.random()\n"
+            )
+        },
+        select=["DET001"],
+    )
+    assert rules_of(report.findings) == ["DET001"]

@@ -1,0 +1,45 @@
+"""The analyzer's own acceptance gate, enforced from the tier-1 suite:
+the real tree is clean (no new findings over the shipped baseline) and
+every suppression in it is used and justified."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.baseline import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_tree_is_invariant_clean():
+    paths = [REPO_ROOT / p for p in ("src", "benchmarks", "examples")]
+    baseline = Baseline.load(REPO_ROOT / "LINT_BASELINE.json")
+    report = run_lint(paths, REPO_ROOT, baseline=baseline)
+    assert report.exit_code == 0, "\n" + report.render()
+    # Warnings (unused suppressions) must not rot in the tree either.
+    assert report.counts["warning"] == 0, "\n" + report.render()
+    # Stale baseline entries must be pruned, keeping it honest.
+    assert report.expired_baseline == [], "\n" + report.render()
+
+
+def test_every_suppression_carries_a_justification():
+    """Policy (docs/LINT.md): a disable comment either carries its own
+    `-- reason` or sits next to an explanatory comment line."""
+    from repro.lint.analyzer import _scan_suppressions
+
+    for path in (REPO_ROOT / "src").rglob("*.py"):
+        if "__pycache__" in path.parts:
+            continue
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        for suppression in _scan_suppressions(source):
+            line = lines[suppression.line - 1]
+            has_inline_reason = "--" in line.split("repro-lint:", 1)[1]
+            neighborhood = lines[max(0, suppression.line - 4) : suppression.line - 1]
+            has_comment_above = any(
+                s.lstrip().startswith("#") for s in neighborhood
+            )
+            assert has_inline_reason or has_comment_above, (
+                f"{path}:{suppression.line}: suppression without justification"
+            )

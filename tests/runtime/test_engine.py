@@ -10,7 +10,6 @@ over both disciplines — one behavior, two wirings.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 import pytest
 

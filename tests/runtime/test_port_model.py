@@ -5,7 +5,6 @@ the executable form of the paper's "port numbers can be emulated" remark.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 import pytest
 
@@ -29,7 +28,7 @@ def colored(graph):
 @dataclass(frozen=True)
 class _TokenState:
     token: object
-    collected: Tuple
+    collected: tuple
     round_number: int
     rounds_needed: int
 
