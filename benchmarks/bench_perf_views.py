@@ -11,9 +11,16 @@ import pytest
 
 from repro.analysis.sweeps import SweepRow, format_table
 from repro.core.orders import finite_view_graph_sort_key
-from repro.factor.quotient import finite_view_graph
-from repro.graphs.builders import cycle_graph, random_connected_graph, with_uniform_input
+from repro.factor.quotient import finite_view_graph, infinite_view_graph
+from repro.graphs.builders import (
+    cycle_graph,
+    random_connected_graph,
+    torus_graph,
+    with_uniform_input,
+)
 from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+from repro.graphs.csr import csr_of
+from repro.graphs.lifts import lift_graph
 from repro.views.local_views import all_views, view_builder
 from repro.views.refinement import color_refinement
 from repro.views.view_tree import clear_caches
@@ -21,6 +28,12 @@ from repro.views.view_tree import clear_caches
 
 def colored(graph):
     return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def colored_lift(base_n, fiber):
+    base = colored(with_uniform_input(cycle_graph(base_n)))
+    lift, _ = lift_graph(base, fiber, seed=base_n * fiber)
+    return lift
 
 
 @pytest.mark.parametrize("n", [8, 16, 32, 64])
@@ -58,6 +71,48 @@ def test_quotient_scaling(n, benchmark):
     g = colored(with_uniform_input(random_connected_graph(n, 0.15, seed=n)))
     result = benchmark(lambda: finite_view_graph(g))
     assert result.graph.num_nodes <= n
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_refinement_csr_cycle(n, benchmark):
+    """The CSR headline case: flat-array refinement on a uniform cycle
+    (one round to the single-class fixpoint, dominated by array setup)."""
+    g = with_uniform_input(cycle_graph(n))
+    csr_of(g)  # arrays are built once per graph; measure the kernel
+    result = benchmark(lambda: color_refinement(g))
+    assert result.num_classes == 1
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_refinement_csr_torus(n, benchmark):
+    side = 16 if n == 256 else 32
+    g = with_uniform_input(torus_graph(side, side))
+    csr_of(g)
+    result = benchmark(lambda: color_refinement(g))
+    assert result.num_classes == 1
+
+
+@pytest.mark.parametrize("fiber", [16, 64])
+def test_quotient_csr_lift(fiber, benchmark):
+    """Quotient construction on a lift of a 2-hop colored cycle: the
+    int-array class/edge walk plus the factorizing-map fast verify."""
+    g = colored_lift(16, fiber)
+    factor = benchmark(lambda: infinite_view_graph(g))
+    assert factor.graph.num_nodes == 16
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_bfs_csr_distance(n, benchmark):
+    """Epoch-stamped BFS on the CSR arrays: antipodal distance plus a
+    radius query, no per-call buffer allocation."""
+    g = with_uniform_input(cycle_graph(n))
+
+    def run():
+        return g.distance(0, n // 2), len(g.nodes_within(0, n // 4))
+
+    dist, within = benchmark(run)
+    assert dist == n // 2
+    assert within == n // 2 + 1
 
 
 def test_canonical_encoding_benchmark(benchmark):

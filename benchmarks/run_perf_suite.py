@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import os
 import platform
 import statistics
 import subprocess
@@ -41,13 +43,15 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.graphs.builders import (  # noqa: E402
     cycle_graph,
     random_connected_graph,
+    torus_graph,
     with_uniform_input,
 )
 from repro.graphs.coloring import (  # noqa: E402
     apply_two_hop_coloring,
     greedy_two_hop_coloring,
 )
-from repro.factor.quotient import finite_view_graph  # noqa: E402
+from repro.graphs.lifts import lift_graph  # noqa: E402
+from repro.factor.quotient import finite_view_graph, infinite_view_graph  # noqa: E402
 from repro.algorithms import TwoHopColoringAlgorithm  # noqa: E402
 from repro.faults import FaultPlan, execute_with_faults  # noqa: E402
 from repro.runtime.algorithm import AnonymousAlgorithm  # noqa: E402
@@ -62,9 +66,48 @@ GUARD_BENCH = "views_cycle"
 GUARD_N = 64
 DEFAULT_TOLERANCE = 2.0
 
+# Pre-CSR (PR-5) cold best-of-7 timings in milliseconds, measured at
+# commit 4549e74 on the recording machine, for the cases the CSR core
+# targets.  The ``csr`` section of the baseline records the speedup of
+# each case against these denominators; ``--check`` enforces the
+# headline floors on the *recorded* speedups (machine-independent — the
+# recording machine measured both sides).
+PR5_BASELINE_MS = {
+    "refinement_cycle/256": 0.8211,
+    "refinement_cycle/1024": 3.2574,
+    "refinement_cycle/4096": 14.2036,
+    "refinement_torus/256": 0.8188,
+    "refinement_torus/1024": 3.2744,
+    "refinement_torus/4096": 14.7188,
+    "quotient_lift/256": 2.8626,
+    "quotient_lift/1024": 11.0988,
+    "quotient_lift/4096": 47.5437,
+    "refinement_random/256": 1.6774,
+    "refinement_random/512": 5.3166,
+    "views_cycle/64": 0.5282,
+}
+PR5_COMMIT = "4549e74"
+
+# Floors the recorded csr speedups must clear for perf-smoke to pass
+# (the headline acceptance targets of the CSR PR).
+CSR_SPEEDUP_FLOORS = {
+    "refinement_cycle/1024": 5.0,
+    "refinement_torus/1024": 5.0,
+    "views_cycle/64": 3.0,
+}
+
 
 def _colored(graph):
     return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+
+def _colored_lift(base_n: int, fiber: int):
+    """A permutation-voltage lift of a 2-hop colored cycle: a large
+    product graph whose quotient recovers the ``base_n``-node base —
+    the paper-shaped workload for quotient construction at scale."""
+    base = _colored(with_uniform_input(cycle_graph(base_n)))
+    lift, _ = lift_graph(base, fiber, seed=base_n * fiber)
+    return lift
 
 
 def _git_info() -> dict:
@@ -302,11 +345,50 @@ def run_suite(quick: bool, repeats: int) -> dict:
             {"bench": "quotient_colored", "n": n, "cold": cold, "warm": warm, "intern": None}
         )
 
+    # The CSR-core headline cases: flat-array refinement on uniform
+    # cycles and tori, and quotient construction on lifts of a 2-hop
+    # colored cycle (the sizes the PR-5 reference timings were recorded
+    # at; see PR5_BASELINE_MS).
+    csr_ns = [256, 1024] if quick else [256, 1024, 4096]
+    for n in csr_ns:
+        graph = with_uniform_input(cycle_graph(n))
+        cold = _time(lambda: color_refinement(graph), repeats, cold=True)
+        warm = _time(lambda: color_refinement(graph), repeats, cold=False)
+        rows.append(
+            {"bench": "refinement_cycle", "n": n, "cold": cold, "warm": warm, "intern": None}
+        )
+
+    for n in csr_ns:
+        side = math.isqrt(n)
+        graph = with_uniform_input(torus_graph(side, side))
+        cold = _time(lambda: color_refinement(graph), repeats, cold=True)
+        warm = _time(lambda: color_refinement(graph), repeats, cold=False)
+        rows.append(
+            {"bench": "refinement_torus", "n": n, "cold": cold, "warm": warm, "intern": None}
+        )
+
+    for n in csr_ns:
+        graph = _colored_lift(16, n // 16)
+        cold = _time(lambda: infinite_view_graph(graph), repeats, cold=True)
+        warm = _time(lambda: infinite_view_graph(graph), repeats, cold=False)
+        rows.append(
+            {"bench": "quotient_lift", "n": n, "cold": cold, "warm": warm, "intern": None}
+        )
+
     clear_caches()
+    speedups = {}
+    for row in rows:
+        case = f"{row['bench']}/{row['n']}"
+        reference_ms = PR5_BASELINE_MS.get(case)
+        if reference_ms is not None:
+            speedups[case] = round(reference_ms / (row["cold"]["best_s"] * 1e3), 2)
     return {
         # Schema history: 2 = runtime counts section; 3 = git provenance
-        # block + fault workloads + ``faults_injected`` in counts.
-        "schema": 3,
+        # block + fault workloads + ``faults_injected`` in counts;
+        # 4 = ``csr`` section (speedups of the array kernels vs the
+        # embedded pre-CSR reference timings) + refinement_cycle /
+        # refinement_torus / quotient_lift benches.
+        "schema": 4,
         "suite": "views-perf",
         "quick": quick,
         "machine": {
@@ -315,6 +397,11 @@ def run_suite(quick: bool, repeats: int) -> dict:
             "implementation": platform.python_implementation(),
         },
         "git": _git_info(),
+        "csr": {
+            "reference_commit": PR5_COMMIT,
+            "reference_ms": PR5_BASELINE_MS,
+            "speedups": speedups,
+        },
         "results": rows,
         "runtime": run_runtime_benches(repeats),
     }
@@ -365,6 +452,97 @@ def _machine_mismatch(baseline: dict, current: dict) -> list:
     return diffs
 
 
+def _cold_by_case(payload: dict) -> dict:
+    """``{"bench/n": cold best seconds}`` for every measured case."""
+    return {
+        f"{row['bench']}/{row['n']}": row["cold"]["best_s"]
+        for row in payload.get("results", [])
+    }
+
+
+def _ratio_table(baseline: dict, current: dict) -> list:
+    """Per-bench old/new rows ``(case, base_s, cur_s, ratio)`` over the
+    cases present in both runs (``--check`` runs the quick sweep, so the
+    committed full-sweep baseline usually has extra sizes)."""
+    base_cases = _cold_by_case(baseline)
+    cur_cases = _cold_by_case(current)
+    return [
+        (case, base_cases[case], cur_cases[case], cur_cases[case] / base_cases[case])
+        for case in sorted(base_cases)
+        if case in cur_cases
+    ]
+
+
+def _print_ratio_table(rows: list, tolerance: float) -> None:
+    print(f"{'bench/n':<26}{'baseline':>12}{'current':>12}{'ratio':>8}")
+    for case, base_s, cur_s, ratio in rows:
+        print(
+            f"{case:<26}{base_s * 1e3:10.4f}ms{cur_s * 1e3:10.4f}ms{ratio:8.2f}"
+        )
+    print(f"(ratio = current/baseline cold best; guard tolerance {tolerance:.2f})")
+
+
+def _write_step_summary(rows: list, csr_lines: list, tolerance: float) -> None:
+    """Append the ratio table as markdown to the GitHub job summary, when
+    running under Actions (``$GITHUB_STEP_SUMMARY`` set)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### perf-smoke: baseline vs current (cold best)",
+        "",
+        "| bench/n | baseline | current | ratio |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for case, base_s, cur_s, ratio in rows:
+        lines.append(
+            f"| {case} | {base_s * 1e3:.4f}ms | {cur_s * 1e3:.4f}ms | {ratio:.2f} |"
+        )
+    lines.append("")
+    lines.append(f"ratio = current/baseline; guard tolerance {tolerance:.2f}")
+    if csr_lines:
+        lines.append("")
+        lines.extend(csr_lines)
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError:
+        pass  # summary output is best-effort; the stdout table is canonical
+
+
+def _check_csr_floors(baseline: dict) -> tuple:
+    """Validate the *recorded* csr speedups against the acceptance floors.
+
+    The speedups in the committed baseline were measured on the recording
+    machine against PR-5 timings from the same machine, so the check is
+    hardware-independent — it gates what the baseline claims, and the
+    timing-ratio guard above gates whether this run still matches the
+    baseline.  A baseline without a ``csr`` section (schema <= 3) arms
+    nothing.  Returns ``(failures, summary_lines)``.
+    """
+    recorded = baseline.get("csr", {}).get("speedups", {})
+    failures = []
+    lines = ["recorded CSR speedups vs pre-CSR reference "
+             f"(commit {baseline.get('csr', {}).get('reference_commit', '?')}):"]
+    for case in sorted(recorded):
+        floor = CSR_SPEEDUP_FLOORS.get(case)
+        floor_note = f" (floor {floor:.1f})" if floor is not None else ""
+        lines.append(f"  {case}: {recorded[case]:.2f}x{floor_note}")
+        if floor is not None and recorded[case] < floor:
+            failures.append(
+                f"  {case}: recorded speedup {recorded[case]:.2f}x is below "
+                f"the acceptance floor {floor:.1f}x"
+            )
+    for case in sorted(CSR_SPEEDUP_FLOORS):
+        if recorded and case not in recorded:
+            failures.append(
+                f"  {case}: required by the acceptance floors but missing "
+                "from the baseline's csr section (re-record the baseline "
+                "with the full sweep)"
+            )
+    return failures, lines if recorded else []
+
+
 def check_against_baseline(
     current: dict,
     baseline_path: Path,
@@ -398,6 +576,12 @@ def check_against_baseline(
         print("guard case missing from baseline or current run")
         return 1
     ratio = new_time / base_time
+    table = _ratio_table(baseline, current)
+    csr_failures, csr_lines = _check_csr_floors(baseline)
+    _print_ratio_table(table, tolerance)
+    for line in csr_lines:
+        print(line)
+    _write_step_summary(table, csr_lines, tolerance)
     print(
         f"perf-smoke guard: views cycle n={GUARD_N} cold "
         f"{new_time * 1e3:.3f}ms vs baseline {base_time * 1e3:.3f}ms "
@@ -405,6 +589,11 @@ def check_against_baseline(
     )
     if ratio > tolerance:
         print("PERF REGRESSION: view construction slowed beyond tolerance")
+        return 2
+    if csr_failures:
+        print("CSR SPEEDUP FLOOR VIOLATION:")
+        for line in csr_failures:
+            print(line)
         return 2
     drift = _runtime_counts_drift(baseline, current)
     if drift:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.views.refinement import color_refinement
+from repro.views.refinement import refinement_indices
 
 
 @dataclass(frozen=True)
@@ -39,14 +39,14 @@ class ViewClassProfile:
 
 def view_class_profile(graph: LabeledGraph) -> ViewClassProfile:
     """The view-class profile of a labeled graph."""
-    classes = color_refinement(graph).classes
-    sizes: dict[int, int] = {}
-    for v in graph.nodes:
-        sizes[classes[v]] = sizes.get(classes[v], 0) + 1
+    _, colors = refinement_indices(graph)
+    sizes = [0] * (max(colors) + 1)
+    for c in colors:
+        sizes[c] += 1
     return ViewClassProfile(
         num_nodes=graph.num_nodes,
         num_classes=len(sizes),
-        class_sizes=tuple(sorted(sizes.values(), reverse=True)),
+        class_sizes=tuple(sorted(sizes, reverse=True)),
     )
 
 

@@ -22,7 +22,7 @@ from collections.abc import Mapping, Sequence
 from repro.exceptions import DerandomizationError
 from repro.graphs.encoding import encode_ordered_graph
 from repro.graphs.labeled_graph import LabeledGraph, Node
-from repro.views.refinement import color_refinement
+from repro.views.refinement import refinement_indices
 
 
 def canonical_node_order(graph: LabeledGraph) -> list[Node]:
@@ -35,14 +35,20 @@ def canonical_node_order(graph: LabeledGraph) -> list[Node]:
     graphs.  Raises :class:`DerandomizationError` if two nodes share a
     class (graph not prime).
     """
-    refinement = color_refinement(graph)
-    classes = refinement.classes
-    if len(set(classes.values())) != graph.num_nodes:
+    csr, colors = refinement_indices(graph)
+    num_classes = max(colors) + 1
+    if num_classes != graph.num_nodes:
         raise DerandomizationError(
             "canonical_node_order needs a prime graph; view classes collide "
-            f"(n={graph.num_nodes}, classes={len(set(classes.values()))})"
+            f"(n={graph.num_nodes}, classes={num_classes})"
         )
-    return sorted(graph.nodes, key=lambda v: classes[v])
+    # Primality makes class numbering a permutation of the node indices:
+    # position c in the order is the node of class c.
+    order: list[Node] = [None] * num_classes
+    nodes = csr.nodes
+    for i, c in enumerate(colors):
+        order[c] = nodes[i]
+    return order
 
 
 def assignment_sort_key(

@@ -100,6 +100,58 @@ class FactorizingMap:
     # ------------------------------------------------------------------
 
     def _verify(self) -> None:
+        """Check the three defining properties.
+
+        The happy path runs entirely on the CSR mirrors of the two
+        graphs — dense int images, sorted int row comparisons — which is
+        what keeps quotient construction array-native end to end.  Any
+        discrepancy (or a mapping the fast path cannot index) falls back
+        to the original object-walking checks, which re-scan in the
+        historical order and raise the exact historical error.
+        """
+        if self._verify_fast():
+            return
+        self._verify_slow()
+
+    def _verify_fast(self) -> bool:
+        product, factor, mapping = self._product, self._factor, self._mapping
+        if product.layer_names != factor.layer_names:
+            return False
+        pcsr = product._csr_mirror()
+        fcsr = factor._csr_mirror()
+        find = fcsr.index.get
+        try:
+            image = [find(mapping[v], -1) for v in pcsr.nodes]
+        except (KeyError, TypeError):  # undefined or unhashable image
+            return False
+        if -1 in image:
+            return False
+        # Property 1: surjective.
+        if len(set(image)) != fcsr.num_nodes:
+            return False
+        # Property 2: label-respecting — compare composed label values
+        # through the per-graph rank tables (ranks themselves are
+        # per-graph, so compare the ranked *values*).
+        plabels, pranks = pcsr.label_values, pcsr.label_ranks
+        flabels, franks = fcsr.label_values, fcsr.label_ranks
+        for i in range(pcsr.num_nodes):
+            if plabels[pranks[i]] != flabels[franks[image[i]]]:
+                return False
+        # Property 3: local isomorphism.  Image lists and target rows are
+        # compared as sorted int lists; equality implies injectivity too,
+        # because target rows never repeat an index.
+        ig = image.__getitem__
+        rows = [sorted(fcsr.adjacency[j]) for j in range(fcsr.num_nodes)]
+        for i, neighbors in enumerate(pcsr.adjacency):
+            if sorted(map(ig, neighbors)) != rows[image[i]]:
+                return False
+        # Consequence: equal fiber sizes.
+        sizes = [0] * fcsr.num_nodes
+        for j in image:
+            sizes[j] += 1
+        return len(set(sizes)) == 1
+
+    def _verify_slow(self) -> None:
         product, factor, mapping = self._product, self._factor, self._mapping
 
         undefined = [v for v in product.nodes if v not in mapping]

@@ -15,6 +15,7 @@ view-equivalence classes.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 
 from repro.exceptions import FactorError, GraphError
 from repro.factor.factorizing_map import FactorizingMap
@@ -83,7 +84,7 @@ def _divisors(n: int) -> list[int]:
 
 
 def _equal_size_partitions(
-    graph: LabeledGraph, classes: dict[Node, int], fiber_size: int
+    graph: LabeledGraph, classes: Mapping[Node, int], fiber_size: int
 ) -> list[list[tuple[Node, ...]]]:
     """All partitions of the node set into blocks of exactly ``fiber_size``
     nodes, where every block stays inside one view class (Fact 1)."""

@@ -23,9 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import FactorError
-from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.graphs.labeled_graph import LabeledGraph
 from repro.factor.factorizing_map import FactorizingMap
-from repro.views.refinement import color_refinement
+from repro.views.refinement import refinement_indices
 from repro.views.local_views import view_builder
 from repro.views.view_tree import ViewTree
 
@@ -66,46 +66,53 @@ def infinite_view_graph(
     cannot happen for 2-hop colored inputs (Lemma 2), so a raise means
     the input lacks a valid 2-hop coloring among its layers.
     """
-    refinement = color_refinement(graph)
-    classes = refinement.classes
-    class_ids = sorted(set(classes.values()))
-    representatives: dict[int, Node] = {}
-    for v in graph.nodes:
-        representatives.setdefault(classes[v], v)
+    # Refinement classes in index space: ``colors[i]`` is the class of
+    # ``csr.nodes[i]``, numbered densely ``0 .. k-1`` in canonical order.
+    csr, colors = refinement_indices(graph)
+    nodes = csr.nodes
+    adjacency = csr.adjacency
+    num_classes = max(colors) + 1
+    representatives = [-1] * num_classes
 
     # Quotient edges: class c adjacent to class d iff some member of c has
     # a neighbor in d.  For the projection to be a local isomorphism,
     # *every* member of c must have *exactly one* neighbor in d, and no
     # member may have a neighbor inside its own class (that would force a
-    # loop).  We check while building.
-    edges: set = set()
-    for v in graph.nodes:
-        c = classes[v]
-        neighbor_classes = [classes[u] for u in graph.neighbors(v)]
+    # loop).  We check while building — all of it on flat int lists.
+    edges: set[tuple[int, int]] = set()
+    add_edge = edges.add
+    for i in range(csr.num_nodes):
+        c = colors[i]
+        if representatives[c] < 0:
+            representatives[c] = i
+        neighbor_classes = [colors[j] for j in adjacency[i]]
         if c in neighbor_classes:
             raise FactorError(
-                f"view quotient is not simple: node {v!r} has a neighbor in its "
+                f"view quotient is not simple: node {nodes[i]!r} has a neighbor in its "
                 "own view class (input is not 2-hop colored)"
             )
         if len(set(neighbor_classes)) != len(neighbor_classes):
             raise FactorError(
-                f"view quotient projection is not locally injective at {v!r}: "
+                f"view quotient projection is not locally injective at {nodes[i]!r}: "
                 "two neighbors share a view class (input is not 2-hop colored)"
             )
         for d in neighbor_classes:
-            edges.add(frozenset((c, d)))
+            add_edge((c, d) if c < d else (d, c))
 
     layers = {
-        name: {c: graph.label_of(representatives[c], name) for c in class_ids}
+        name: {
+            c: graph.label_of(nodes[representatives[c]], name)
+            for c in range(num_classes)
+        }
         for name in graph.layer_names
     }
     quotient = LabeledGraph(
-        sorted(tuple(sorted(e)) for e in edges),
-        nodes=class_ids,
+        sorted(edges),
+        nodes=range(num_classes),
         layers=layers,
         check_connected=True,
     )
-    factorizing = FactorizingMap(graph, quotient, {v: classes[v] for v in graph.nodes})
+    factorizing = FactorizingMap(graph, quotient, dict(zip(nodes, colors)))
 
     views: dict[int, ViewTree] | None = None
     if with_views:

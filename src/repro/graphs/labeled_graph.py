@@ -98,6 +98,7 @@ class LabeledGraph:
         "_ports",
         "_port_of",
         "_hash",
+        "_csr",
     )
 
     def __init__(
@@ -161,6 +162,7 @@ class LabeledGraph:
         for v in self._nodes:
             self._port_of[v] = {u: port for port, u in enumerate(self._ports[v])}
         self._hash: int | None = None
+        self._csr = None  # lazily built CSR mirror (repro.graphs.csr)
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -364,45 +366,40 @@ class LabeledGraph:
         """The set {v} ∪ Γ(v), sorted."""
         return tuple(sorted((v,) + self.neighbors(v), key=_sort_key))
 
+    def _csr_mirror(self):
+        """The memoized flat-array mirror (see :mod:`repro.graphs.csr`)."""
+        csr = self._csr
+        if csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            csr = self._csr = CSRGraph(self)
+        return csr
+
     def nodes_within(self, v: Node, hops: int) -> tuple[Node, ...]:
         """All nodes at distance at most ``hops`` from ``v`` (the set H^hops(v))."""
         if hops < 0:
             raise GraphError(f"hops must be nonnegative, got {hops}")
-        seen = {v}
-        frontier = [v]
-        for _ in range(hops):
-            next_frontier = []
-            for current in frontier:
-                for neighbor in self._adjacency[current]:
-                    if neighbor not in seen:
-                        seen.add(neighbor)
-                        next_frontier.append(neighbor)
-            if not next_frontier:
-                break
-            frontier = next_frontier
-        return tuple(sorted(seen, key=_sort_key))
+        if hops == 0:
+            return (v,)
+        csr = self._csr_mirror()
+        nodes = self._nodes
+        # Index order is the node sort order, so the ascending index list
+        # maps straight to the sorted node tuple.
+        return tuple(map(nodes.__getitem__, csr.within_idx(csr.index[v], hops)))
 
     def distance(self, u: Node, v: Node) -> int:
-        """Hop distance between ``u`` and ``v`` (BFS)."""
+        """Hop distance between ``u`` and ``v`` (BFS on the CSR mirror)."""
         if not self.has_node(u):
             raise GraphError(f"unknown node {u!r}")
         if not self.has_node(v):
             raise GraphError(f"unknown node {v!r}")
         if u == v:
             return 0
-        seen = {u: 0}
-        frontier = [u]
-        while frontier:
-            next_frontier = []
-            for current in frontier:
-                for neighbor in self._adjacency[current]:
-                    if neighbor not in seen:
-                        seen[neighbor] = seen[current] + 1
-                        if neighbor == v:
-                            return seen[neighbor]
-                        next_frontier.append(neighbor)
-            frontier = next_frontier
-        raise GraphError(f"nodes {u!r} and {v!r} are not connected")
+        csr = self._csr_mirror()
+        hops = csr.distance_idx(csr.index[u], csr.index[v])
+        if hops < 0:
+            raise GraphError(f"nodes {u!r} and {v!r} are not connected")
+        return hops
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr
@@ -433,6 +430,29 @@ class LabeledGraph:
         if self._hash is None:
             self._hash = hash(self.structure_key())
         return self._hash
+
+    def __getstate__(self) -> dict:
+        # Caches are dropped: the CSR mirror is rebuilt lazily on demand,
+        # and the structure-key hash is salted per process
+        # (PYTHONHASHSEED), so neither may travel across pickling.
+        return {
+            "_nodes": self._nodes,
+            "_adjacency": self._adjacency,
+            "_edges": self._edges,
+            "_layers": self._layers,
+            "_ports": self._ports,
+            "_port_of": self._port_of,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._nodes = state["_nodes"]
+        self._adjacency = state["_adjacency"]
+        self._edges = state["_edges"]
+        self._layers = state["_layers"]
+        self._ports = state["_ports"]
+        self._port_of = state["_port_of"]
+        self._hash = None
+        self._csr = None
 
     def __repr__(self) -> str:
         return (

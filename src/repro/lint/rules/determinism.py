@@ -140,7 +140,9 @@ class NoUnorderedIterationIntoCanonicalArtifacts(Rule):
         "an order-sensitive canonical artifact; wrap in sorted(...)"
     )
     # The layers that produce canonical artifacts: view encodings,
-    # factor/quotient graphs, graph encodings/canonical forms, and the
+    # factor/quotient graphs, graph encodings/canonical forms (the
+    # src/repro/graphs/ prefix deliberately covers the CSR array kernels
+    # in graphs/csr.py — their dense numbering is canonical), and the
     # analysis tables persisted into experiment JSON.
     include = (
         "src/repro/views/",

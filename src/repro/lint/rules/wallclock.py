@@ -33,6 +33,7 @@ class NoWallClockOrFloatsInEncoders(Rule):
     )
     include = (
         "src/repro/views/",
+        "src/repro/graphs/csr.py",
         "src/repro/graphs/encoding.py",
         "src/repro/graphs/isomorphism.py",
         "src/repro/factor/",

@@ -7,16 +7,23 @@ single vertex marked ``l(v)``; ``L_{d+1}(v)`` connects the root of
 in :mod:`repro.views.view_tree` shares every repeated subtree — a single
 ``all_views(G, d)`` call allocates ``O(n · d)`` tree objects.
 
+Construction is *per class*, on the graph's CSR mirror: a level stores
+one interned tree per view class plus a flat int list assigning each
+node its class, and deepening advances the class partition with one
+:func:`repro.graphs.csr.refine_step` round — the refinement/view
+equivalence (depth ``d + 1`` view classes are exactly the classes after
+``d`` refinement rounds) guarantees every member of a class has the same
+view at every depth, so one ``ViewTree.make`` per class (with the
+lowest-index member as representative) reproduces the per-node
+construction exactly, interned trees, mark objects and all.
+
 Deepening is *incremental*: a :class:`ViewBuilder` caches the per-depth
-frontier maps for a graph, so ``all_views(g, d + 1)`` extends the cached
+levels for a graph, so ``all_views(g, d + 1)`` extends the cached
 depth-``d`` result with one more round instead of recomputing ``d``
-rounds from scratch.  Builders also watch the view partition: once two
-consecutive depths induce the same partition it is stable forever
-(Norris's theorem territory — the same early-exit criterion color
-refinement uses), and every deeper level is built with one
-``ViewTree.make`` per *class* instead of per node; nodes in one stable
-class provably share their view at every depth, so the produced trees
-are identical to the per-node construction.
+rounds from scratch.  Builders also watch the partition: once a round
+splits nothing it is stable forever (Norris's theorem territory — the
+same early-exit criterion color refinement uses), and every deeper level
+skips the refinement round entirely.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.exceptions import ViewError
+from repro.graphs.csr import csr_of, refine_step
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.views import view_tree
 from repro.views.view_tree import ViewTree
@@ -39,78 +47,147 @@ class ViewBuilder:
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
-        self._levels: list[dict[Node, ViewTree]] = []
+        self._csr = csr_of(graph)
+        # One level per depth: the class trees (indexed by class) and the
+        # per-node class list.  Post-stability levels share the class
+        # list object — classes never change again.
+        self._levels: list[tuple[list[ViewTree], list[int]]] = []
         self._counts: list[int] = []
-        # Labels and their interned mark ids never change across levels;
-        # resolve them once and use the pre-ranked intern fast path.
-        self._marks: dict[Node, object] = {v: graph.label(v) for v in graph.nodes}
-        self._mark_ids: dict[Node, int] = {
-            v: view_tree._mark_id_of(mark) for v, mark in self._marks.items()
-        }
-        # Once the partition is stable: members and a representative per
-        # class, in a fixed order, for per-class level extension.
-        self._class_members: list[list[Node]] | None = None
-        self._class_reps: list[Node] | None = None
+        # Marks and their interned mark ids never change across levels
+        # and are constant on each seed label class; resolve them once
+        # per distinct label and use the pre-ranked intern fast path.
+        self._rank_marks = self._csr.label_values
+        self._rank_mark_ids = [
+            view_tree._mark_id_of(mark) for mark in self._rank_marks
+        ]
+        self._stable = False
+        # Once stable, the class list stops changing, so the creation
+        # order of class representatives is computed once and reused.
+        self._rep_order: list[int] | None = None
 
     # -- construction ---------------------------------------------------
 
-    def _extend(self) -> None:
-        graph = self.graph
-        marks, mark_ids = self._marks, self._mark_ids
+    def _class_level(
+        self,
+        colors: list[int],
+        rep_order: list[int],
+        prev: tuple[list[ViewTree], list[int]],
+    ) -> list[ViewTree]:
+        """Build the class trees of one level: one ``make`` per class,
+        children read from the previous level through the CSR rows.
+
+        ``rep_order`` visits classes in order of their lowest-index
+        member — the order in which the historical per-node construction
+        first created each tree — so intern-table insertion order (and
+        with it every rank bookkeeping side effect) is unchanged.
+        """
+        adjacency = self._csr.adjacency
+        label_ranks = self._csr.label_ranks
+        rank_marks = self._rank_marks
+        rank_mark_ids = self._rank_mark_ids
+        prev_trees, prev_colors = prev
         make = view_tree._make_ranked
+        trees: list[ViewTree] = [None] * len(rep_order)  # type: ignore[list-item]
+        for rep in rep_order:
+            rank = label_ranks[rep]
+            trees[colors[rep]] = make(
+                rank_marks[rank],
+                rank_mark_ids[rank],
+                [prev_trees[prev_colors[u]] for u in adjacency[rep]],
+            )
+        return trees
+
+    @staticmethod
+    def _first_member_order(colors: list[int], count: int) -> list[int]:
+        """Lowest-index member per class, ascending — the creation order."""
+        reps = [-1] * count
+        for i in range(len(colors) - 1, -1, -1):
+            reps[colors[i]] = i
+        reps.sort()
+        return reps
+
+    def _extend(self) -> None:
+        csr = self._csr
         if not self._levels:
-            level = {v: make(marks[v], mark_ids[v], ()) for v in graph.nodes}
-            self._levels.append(level)
-            self._counts.append(len({id(t) for t in level.values()}))
+            make = view_tree._make_ranked
+            trees = [
+                make(mark, mark_id, ())
+                for mark, mark_id in zip(self._rank_marks, self._rank_mark_ids)
+            ]
+            self._levels.append((trees, list(csr.label_ranks)))
+            self._counts.append(csr.num_labels)
+            self._stable = csr.num_labels == csr.num_nodes
             return
         prev = self._levels[-1]
-        if self._class_reps is not None:
-            # Stable partition: one make() per class; every member of a
-            # class has the same view at every depth (class signatures no
-            # longer split), so assigning the representative's tree to
-            # all members reproduces the per-node result exactly.
-            level = {}
-            for rep, members in zip(self._class_reps, self._class_members):
-                tree = make(
-                    marks[rep], mark_ids[rep], [prev[u] for u in graph.neighbors(rep)]
+        prev_colors = prev[1]
+        count = self._counts[-1]
+        if self._stable:
+            colors = prev_colors  # shared: the partition no longer moves
+            rep_order = self._rep_order
+            if rep_order is None:
+                rep_order = self._rep_order = self._first_member_order(
+                    colors, count
                 )
-                for v in members:
-                    level[v] = tree
-            self._levels.append(level)
-            self._counts.append(self._counts[-1])
-            return
-        level = {
-            v: make(marks[v], mark_ids[v], [prev[u] for u in graph.neighbors(v)])
-            for v in graph.nodes
-        }
-        count = len({id(t) for t in level.values()})
-        self._levels.append(level)
+        else:
+            new_colors, new_count = refine_step(csr, prev_colors)
+            if new_count == count:
+                # The round split nothing: the partition is stable (and
+                # the renumbering is the identity), so keep the old
+                # class list and stop refining at deeper levels too.
+                self._stable = True
+                colors = prev_colors
+            else:
+                colors = new_colors
+                count = new_count
+                self._stable = new_count == csr.num_nodes
+            rep_order = self._first_member_order(colors, count)
+            if self._stable:
+                self._rep_order = rep_order
+        self._levels.append((self._class_level(colors, rep_order, prev), colors))
         self._counts.append(count)
-        if count == self._counts[-2]:
-            # The new level split nothing: the view partition is stable
-            # (deepening only refines), so freeze the classes.
-            groups: dict[int, list[Node]] = {}
-            for v in graph.nodes:
-                groups.setdefault(id(level[v]), []).append(v)
-            # groups is keyed by first occurrence along graph.nodes (a
-            # deterministic tuple), so .values() order is the canonical
-            # class enumeration order — sorting would change the
-            # class-index contract all_views clients rely on.
-            self._class_members = list(groups.values())  # repro-lint: disable=DET002
-            self._class_reps = [members[0] for members in self._class_members]
 
     def _ensure(self, depth: int) -> None:
         if depth < 1:
             raise ViewError(f"view depth must be at least 1, got {depth}")
-        while len(self._levels) < depth:
+        while len(self._levels) < depth and not self._stable:
             self._extend()
+        missing = depth - len(self._levels)
+        if missing <= 0:
+            return
+        # Stable fast path: the class list is frozen, so the remaining
+        # levels are a straight chain of one make-per-class rounds.
+        # Building them in one loop with hoisted locals keeps the cost
+        # per level at a few tree interns, nothing else.
+        csr = self._csr
+        levels, counts = self._levels, self._counts
+        colors = levels[-1][1]
+        count = counts[-1]
+        rep_order = self._rep_order
+        if rep_order is None:
+            rep_order = self._rep_order = self._first_member_order(colors, count)
+        make = view_tree._make_ranked
+        label_ranks = csr.label_ranks
+        rep_marks = [self._rank_marks[label_ranks[rep]] for rep in rep_order]
+        rep_mark_ids = [self._rank_mark_ids[label_ranks[rep]] for rep in rep_order]
+        rep_rows = [[colors[u] for u in csr.adjacency[rep]] for rep in rep_order]
+        rep_classes = [colors[rep] for rep in rep_order]
+        prev_trees = levels[-1][0]
+        enumerated = list(zip(rep_classes, rep_marks, rep_mark_ids, rep_rows))
+        for _ in range(missing):
+            trees: list[ViewTree] = [None] * count  # type: ignore[list-item]
+            for c, mark, mark_id, row in enumerated:
+                trees[c] = make(mark, mark_id, [prev_trees[d] for d in row])
+            levels.append((trees, colors))
+            counts.append(count)
+            prev_trees = trees
 
     # -- queries --------------------------------------------------------
 
     def views(self, depth: int) -> dict[Node, ViewTree]:
         """The views ``L_depth(v)`` for every node (a fresh dict)."""
         self._ensure(depth)
-        return dict(self._levels[depth - 1])
+        trees, colors = self._levels[depth - 1]
+        return dict(zip(self._csr.nodes, map(trees.__getitem__, colors)))
 
     def stable_depth(self) -> int:
         """The smallest depth whose view partition equals the ``L_∞``
@@ -125,22 +202,22 @@ class ViewBuilder:
     def partition(self, depth: int) -> list[tuple[Node, ...]]:
         """Nodes grouped by equal depth-``depth`` views, groups ordered by
         the structural view order of their representative trees."""
-        views = self.views(depth)
-        groups: dict[int, list[Node]] = {}
-        representative: dict[int, ViewTree] = {}
-        for v in self.graph.nodes:
-            tree = views[v]
-            groups.setdefault(id(tree), []).append(v)
-            representative[id(tree)] = tree
-        ordered = sorted(groups, key=lambda key: representative[key].sort_key())
-        return [tuple(groups[key]) for key in ordered]
+        self._ensure(depth)
+        trees, colors = self._levels[depth - 1]
+        nodes = self._csr.nodes
+        groups: list[list[Node]] = [[] for _ in trees]
+        for i, c in enumerate(colors):
+            groups[c].append(nodes[i])
+        ordered = sorted(range(len(trees)), key=lambda c: trees[c].sort_key())
+        return [tuple(groups[c]) for c in ordered]
 
 
-# Builder registry: a small LRU keyed by graph identity.  Entries pin
-# their graph (so ids stay valid) and are evicted oldest-first; the
-# registry is emptied by ``repro.views.view_tree.clear_caches`` because
-# cached levels hold interned trees.
-_BUILDERS: "OrderedDict[int, tuple[LabeledGraph, ViewBuilder]]" = OrderedDict()
+# Builder registry: a small LRU keyed by the graph itself (equality and
+# hash are structural, so equal instances share a builder — their views
+# are provably identical).  The registry is emptied by
+# ``repro.views.view_tree.clear_caches`` because cached levels hold
+# interned trees.
+_BUILDERS: "OrderedDict[LabeledGraph, ViewBuilder]" = OrderedDict()
 _BUILDER_CACHE_SIZE = 8
 
 view_tree.register_cache_clearer(_BUILDERS.clear)
@@ -148,14 +225,14 @@ view_tree.register_cache_clearer(_BUILDERS.clear)
 
 def view_builder(graph: LabeledGraph) -> ViewBuilder:
     """The cached :class:`ViewBuilder` for ``graph`` (creating it on first
-    use).  Repeated ``all_views`` calls on the same graph share it."""
-    key = id(graph)
-    entry = _BUILDERS.get(key)
-    if entry is not None:
-        _BUILDERS.move_to_end(key)
-        return entry[1]
+    use).  Repeated ``all_views`` calls on the same — or a structurally
+    equal — graph share it."""
+    builder = _BUILDERS.get(graph)
+    if builder is not None:
+        _BUILDERS.move_to_end(graph)
+        return builder
     builder = ViewBuilder(graph)
-    _BUILDERS[key] = (graph, builder)
+    _BUILDERS[graph] = builder
     if len(_BUILDERS) > _BUILDER_CACHE_SIZE:
         _BUILDERS.popitem(last=False)
     return builder

@@ -11,13 +11,17 @@ and their child *multisets* agree — which is precisely one refinement
 step (views are trees with canonically sorted children, so child
 sequences are multisets).
 
-Colors are small integers: each round hashes the signature ``(own color,
-sorted tuple of neighbor colors)`` through a palette dict that renumbers
-signatures densely in sorted order — the classic ``O(m)``-per-round
-hashing refinement.  The canonical numbering is unchanged from the
-historical string encoding because the palette sorts signatures exactly
-as the concatenated strings sorted.  Two early exits stop the loop: a
-round that splits nothing (the partition is stable — the same criterion
+The rounds themselves run in :func:`repro.graphs.csr.refine` on the
+graph's memoized CSR mirror: colors are a flat int list, each round
+gathers neighbor colors through C-level ``map`` over int adjacency rows
+and renumbers signatures densely in sorted order.  The canonical
+numbering is unchanged from the historical dict-walking implementation
+(and from the string encoding before it) — the CSR label ranks seed
+exactly like the old ``repr``-sorted palette, and the flattened
+signature tuples sort exactly as the old nested pairs.
+
+Two early exits stop the loop: a round that splits nothing (the
+partition is stable — the same criterion
 :class:`repro.views.local_views.ViewBuilder` uses to stop deepening),
 and a discrete partition (every node its own class, trivially stable).
 
@@ -29,15 +33,25 @@ stabilization depth is one of our experiment outputs.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 
-from repro.graphs.labeled_graph import LabeledGraph, Node, _freeze
+from repro.graphs.csr import CSRGraph, csr_of, refine
+from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.views import view_tree
 
-# Memoized uncapped runs: id(graph) -> (graph pinned, result).  Same
-# LRU discipline as the ViewBuilder registry; cleared with the view
-# caches so benchmark sessions stay bounded.
-_RESULT_CACHE: "OrderedDict[int, tuple[LabeledGraph, RefinementResult]]" = OrderedDict()
+# Memoized uncapped runs, keyed by the graph itself: LabeledGraph
+# equality/hash delegate to structure_key(), so structurally identical
+# instances share one entry (same-instance lookups still short-circuit
+# on identity inside the dict) and no id()-pinning tuple is needed.
+# Entries also keep the dense color list for array-level consumers
+# (quotients, canonical orders).  Same LRU discipline as the ViewBuilder
+# registry; cleared with the view caches so benchmark sessions stay
+# bounded.
+_RESULT_CACHE: "OrderedDict[LabeledGraph, tuple[RefinementResult, list[int]]]" = (
+    OrderedDict()
+)
 _RESULT_CACHE_SIZE = 16
 
 view_tree.register_cache_clearer(_RESULT_CACHE.clear)
@@ -50,10 +64,12 @@ class RefinementResult:
     Attributes
     ----------
     classes:
-        Class index per node after the run.  Classes are numbered
-        ``0, 1, ...`` in a canonical order (sorted by class signature
-        history), so two runs on isomorphic graphs number corresponding
-        classes equally.
+        Class index per node after the run, as a **read-only** mapping
+        (cache hits return the same result object, so mutating it would
+        corrupt the memo — copy it if you must edit).  Classes are
+        numbered ``0, 1, ...`` in a canonical order (sorted by class
+        signature history), so two runs on isomorphic graphs number
+        corresponding classes equally.
     rounds_to_stable:
         Number of refinement rounds performed until the partition stopped
         changing — or, when a ``max_rounds`` cap cut the run short, until
@@ -70,7 +86,7 @@ class RefinementResult:
         is the partition after exactly ``max_rounds`` rounds.
     """
 
-    classes: dict[Node, int]
+    classes: Mapping[Node, int]
     rounds_to_stable: int
     history: tuple[int, ...]
     stable: bool = True
@@ -92,73 +108,57 @@ def color_refinement(
     was actually reached — a capped run is *not* assumed stable merely
     because it used all its rounds.
 
-    Uncapped results are memoized per graph object (graphs are
-    immutable), so repeated partition queries — quotients, stabilization
-    depths, benchmarks — pay for refinement once.
+    Uncapped results are memoized per graph *structure* (graphs are
+    immutable and compare structurally), so repeated partition queries —
+    quotients, stabilization depths, benchmarks — pay for refinement
+    once, even across distinct but equal instances.  The returned result
+    is shared between cache hits; its ``classes`` mapping is read-only.
     """
     if max_rounds is None:
-        cached = _RESULT_CACHE.get(id(graph))
+        cached = _RESULT_CACHE.get(graph)
         if cached is not None:
-            _RESULT_CACHE.move_to_end(id(graph))
-            result = cached[1]
-            return RefinementResult(
-                classes=dict(result.classes),
-                rounds_to_stable=result.rounds_to_stable,
-                history=result.history,
-                stable=result.stable,
-            )
-    nodes = graph.nodes
-    num_nodes = graph.num_nodes
-    # Work on dense node indices: adjacency as index tuples, colors as a
-    # flat list — every round is then pure small-int tuple hashing.
-    index = {v: i for i, v in enumerate(nodes)}
-    adjacency = [tuple(index[u] for u in graph.neighbors(v)) for v in nodes]
-    # Seed colors canonically: distinct labels ranked by their serialized
-    # form, so numbering is deterministic and independent of node ids.
-    initial = [repr(_freeze(graph.label(v))) for v in nodes]
-    seed_palette = {key: i for i, key in enumerate(sorted(set(initial)))}
-    color: list[int] = [seed_palette[key] for key in initial]
-    history: list[int] = [len(seed_palette)]
-    rounds = 0
-    stable = len(seed_palette) == num_nodes  # discrete partitions are stable
-    limit = num_nodes if max_rounds is None else max_rounds
-    node_range = range(num_nodes)
-    while not stable and rounds < limit:
-        signature = [
-            (color[i], tuple(sorted([color[j] for j in adjacency[i]])))
-            for i in node_range
-        ]
-        palette = {sig: k for k, sig in enumerate(sorted(set(signature)))}
-        if len(palette) == history[-1]:
-            # A refinement round that does not increase the class count
-            # leaves the partition unchanged (refinement only splits).
-            stable = True
-            break
-        color = [palette[sig] for sig in signature]
-        rounds += 1
-        history.append(len(palette))
-        if len(palette) == num_nodes:
-            stable = True
+            _RESULT_CACHE.move_to_end(graph)
+            return cached[0]
+    csr = csr_of(graph)
+    color, rounds, history, stable = refine(csr, max_rounds)
     result = RefinementResult(
-        classes={v: color[index[v]] for v in nodes},
+        classes=MappingProxyType(dict(zip(graph.nodes, color))),
         rounds_to_stable=rounds,
         history=tuple(history),
         stable=stable,
     )
     if max_rounds is None and stable:
-        _RESULT_CACHE[id(graph)] = (graph, result)
+        _RESULT_CACHE[graph] = (result, color)
         if len(_RESULT_CACHE) > _RESULT_CACHE_SIZE:
             _RESULT_CACHE.popitem(last=False)
     return result
 
 
+def refinement_indices(graph: LabeledGraph) -> tuple[CSRGraph, list[int]]:
+    """Stable refinement classes in index space: the graph's CSR mirror
+    plus the dense color list (``colors[i]`` is the class of
+    ``csr.nodes[i]``).  Shares the :func:`color_refinement` memo; array
+    consumers (quotient construction, canonical node orders) use this to
+    stay in flat-int land."""
+    cached = _RESULT_CACHE.get(graph)
+    if cached is None:
+        result = color_refinement(graph)
+        cached = _RESULT_CACHE.get(graph)
+        if cached is None:  # cache tiny or disabled: rebuild from classes
+            return csr_of(graph), [result.classes[v] for v in graph.nodes]
+    else:
+        _RESULT_CACHE.move_to_end(graph)
+    return csr_of(graph), cached[1]
+
+
 def refinement_partition(graph: LabeledGraph) -> list[tuple[Node, ...]]:
     """Nodes grouped by stable refinement class (= equal ``L_∞`` views)."""
-    result = color_refinement(graph)
-    groups: dict[int, list[Node]] = {}
-    for v in graph.nodes:
-        groups.setdefault(result.classes[v], []).append(v)
-    return [tuple(groups[c]) for c in sorted(groups)]
+    csr, colors = refinement_indices(graph)
+    groups: list[list[Node]] = [[] for _ in range(max(colors) + 1)]
+    nodes = csr.nodes
+    for i, c in enumerate(colors):
+        groups[c].append(nodes[i])
+    return [tuple(group) for group in groups]
 
 
 def stabilization_depth(graph: LabeledGraph) -> int:

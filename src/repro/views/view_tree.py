@@ -130,7 +130,30 @@ def _make_ranked(mark: Any, mark_id: int, children: Sequence["ViewTree"]) -> "Vi
     :class:`repro.views.local_views.ViewBuilder`) resolve it once and
     call this directly, skipping the per-call mark serialization.
     """
-    if len(children) > 1:
+    if len(children) == 2:
+        # The dominant case on bounded-degree graphs: order the pair by
+        # direct rank comparison instead of a keyed sort (same order,
+        # no key tuples, no sort machinery).
+        a, b = children
+        if a is b or a.depth < b.depth:
+            ordered = (a, b)
+        elif a.depth > b.depth:
+            ordered = (b, a)
+        else:
+            rank_a, rank_b = _MARK_RANK[a._mark_id], _MARK_RANK[b._mark_id]
+            if rank_a != rank_b:
+                ordered = (a, b) if rank_a < rank_b else (b, a)
+            else:
+                ordered = (a, b) if a._bucket_rank < b._bucket_rank else (b, a)
+        key = (mark_id, (id(ordered[0]), id(ordered[1])))
+        tree = _INTERN.get(key)
+        if tree is None:
+            tree = ViewTree(mark, ordered, _MAKE_TOKEN)
+            tree._mark_id = mark_id
+            _register_rank(tree)
+            _INTERN[key] = tree
+        return tree
+    if len(children) > 2:
         ordered = tuple(sorted(children, key=_rank_key))
     else:
         ordered = tuple(children)
@@ -188,8 +211,17 @@ class ViewTree:
             raise TypeError("use ViewTree.make(mark, children) — trees are interned")
         self.mark = mark
         self.children = children
-        self.depth = 1 + (max(c.depth for c in children) if children else 0)
-        self.size = 1 + sum(c.size for c in children)
+        # A plain loop, not max()/sum() over generators: trees intern at
+        # a few per node per level, and two generator frames per intern
+        # dominate the cold-build profile on bounded-degree graphs.
+        depth = 0
+        size = 1
+        for c in children:
+            if c.depth > depth:
+                depth = c.depth
+            size += c.size
+        self.depth = depth + 1
+        self.size = size
 
     # ------------------------------------------------------------------
     # Construction

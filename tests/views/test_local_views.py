@@ -115,3 +115,21 @@ class TestPartition:
         deep = view_partition(g, 5)
         assert len(shallow) <= len(deep)
         assert sorted(map(sorted, deep)) == [[0, 4], [1, 3], [2]]
+
+
+class TestBuilderCaching:
+    """Builder registry keys structurally: equal graphs share a builder."""
+
+    def test_structurally_equal_graphs_share_builder(self):
+        from repro.views.local_views import view_builder
+
+        a = figure1_graph()
+        b = figure1_graph()
+        assert a is not b and a == b
+        assert view_builder(a) is view_builder(b)
+
+    def test_views_of_equal_graphs_are_shared_trees(self):
+        a = figure1_graph()
+        b = figure1_graph()
+        for v, tree in all_views(a, 4).items():
+            assert all_views(b, 4)[v] is tree

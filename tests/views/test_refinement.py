@@ -128,3 +128,34 @@ class TestNorrisBound:
         assert sorted(map(sorted, view_partition(g, depth))) == sorted(
             map(sorted, view_partition(g, depth + 2))
         )
+
+
+class TestResultCaching:
+    """The memoization contract: structural keying, shared read-only results."""
+
+    def test_cache_hit_returns_same_object(self):
+        g = _uniform(cycle_graph(8))
+        assert color_refinement(g) is color_refinement(g)
+
+    def test_structurally_equal_graphs_share_the_result(self):
+        a = _uniform(cycle_graph(8))
+        b = _uniform(cycle_graph(8))
+        assert a is not b and a == b
+        assert color_refinement(a) is color_refinement(b)
+
+    def test_distinct_structures_do_not_collide(self):
+        a = _uniform(cycle_graph(8))
+        b = _uniform(path_graph(8))
+        assert color_refinement(a).num_classes != color_refinement(b).num_classes
+
+    def test_classes_mapping_is_read_only(self):
+        result = color_refinement(_uniform(star_graph(4)))
+        with pytest.raises(TypeError):
+            result.classes[0] = 99  # type: ignore[index]
+        with pytest.raises((TypeError, AttributeError)):
+            result.classes.clear()  # type: ignore[attr-defined]
+
+    def test_capped_runs_are_not_cached(self):
+        g = _uniform(path_graph(8))
+        capped = color_refinement(g, max_rounds=1)
+        assert color_refinement(g, max_rounds=1) is not capped
