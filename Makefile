@@ -11,7 +11,7 @@ FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
 # (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
 PERF_SMOKE_FLAGS ?=
 
-.PHONY: test bench perf perf-smoke faults-smoke invariants lint typecheck experiments ci
+.PHONY: test bench perf perf-smoke faults-smoke invariants lint typecheck experiments fabric fabric-merge ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -50,5 +50,13 @@ typecheck:  ## mypy over the typed file set (see [tool.mypy] files in pyproject.
 experiments:  ## run every experiment in parallel, writing the JSON artifact
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments --all --jobs 4 \
 		--json RESULTS_experiments.json
+
+fabric:  ## resumable fabric sweep: registry + all grids into the JSONL store
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric run \
+		--all --grids --jobs 4 --store FABRIC_results.jsonl
+
+fabric-merge:  ## fold the fabric store into the canonical merged artifact
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric merge \
+		FABRIC_results.jsonl --out RESULTS_experiments.json
 
 ci: lint typecheck invariants test faults-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

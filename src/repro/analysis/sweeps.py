@@ -81,6 +81,30 @@ class FamilySpec:
         return with_uniform_input(_FAMILY_BUILDERS[self.builder](*self.args))
 
 
+def spec_to_dict(spec: FamilySpec) -> dict[str, Any]:
+    """A JSON-able projection of a spec (the fabric's task-spec form).
+
+    ``args`` becomes a list (JSON has no tuples); the projection is
+    canonical — two equal specs always serialize identically.
+    """
+    return {
+        "name": spec.name,
+        "builder": spec.builder,
+        "args": list(spec.args),
+        "size": spec.size,
+    }
+
+
+def spec_from_dict(payload: dict[str, Any]) -> FamilySpec:
+    """Rebuild a :class:`FamilySpec` from :func:`spec_to_dict` output."""
+    return FamilySpec(
+        name=payload["name"],
+        builder=payload["builder"],
+        args=tuple(payload["args"]),
+        size=payload["size"],
+    )
+
+
 def standard_family_specs(
     sizes: Sequence[int] = (4, 6, 8, 12),
     include_random: bool = True,

@@ -33,6 +33,18 @@ from repro.experiments import (  # noqa: F401  (registration)
     resilience,
     theorems,
 )
+from repro.experiments.fabric import (
+    FabricReport,
+    FabricTask,
+    GridSweep,
+    experiment_tasks,
+    grid_tasks,
+    merge_stores,
+    run_tasks,
+    shard_tasks,
+    task_key,
+)
+from repro.experiments.fingerprint import code_fingerprint
 from repro.experiments.runner import (
     RunReport,
     derive_seed,
@@ -44,15 +56,25 @@ from repro.experiments.runner import (
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "FabricReport",
+    "FabricTask",
+    "GridSweep",
     "RunReport",
     "all_experiment_ids",
     "all_families",
     "all_specs",
+    "code_fingerprint",
     "derive_seed",
+    "experiment_tasks",
     "get_experiment",
     "get_spec",
+    "grid_tasks",
     "map_families",
+    "merge_stores",
     "run_all",
     "run_experiments",
+    "run_tasks",
+    "shard_tasks",
+    "task_key",
     "write_results_json",
 ]

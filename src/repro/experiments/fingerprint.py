@@ -1,0 +1,70 @@
+"""Code fingerprinting for the experiment fabric.
+
+A fabric task's result is a pure function of ``(code, spec, seed)``:
+the same source tree, task description and derived seed always produce
+the same record, byte for byte (the serial-vs-parallel identity
+contract, extended with *code identity*).  :func:`code_fingerprint`
+digests the ``repro`` source tree — every ``*.py`` file under the
+package root, in sorted relative-path order, each contributing its
+path and raw bytes — with SHA-256, the same hash discipline the
+runner's seed derivation and the fault subsystem use.
+
+Any source change (even a comment) changes the fingerprint, which
+changes every task key, which invalidates every stored result.  That
+is deliberate: the fabric never has to reason about *which* change
+affected *which* task, and a stale store degrades to a cache miss,
+never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["clear_fingerprint_cache", "code_fingerprint", "short_fingerprint"]
+
+# Fingerprints are pure functions of the tree contents; memoized per
+# resolved root because CLI runs hash the tree several times (task
+# building, store scanning, merging).
+_CACHE: dict[str, str] = {}
+
+
+def _default_root() -> Path:
+    """The installed ``repro`` package directory (the ``src/repro`` tree)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(root: "str | Path | None" = None) -> str:
+    """SHA-256 hex digest of every ``*.py`` file under ``root``.
+
+    ``root`` defaults to the ``repro`` package directory.  Files are
+    visited in sorted POSIX relative-path order; each contributes
+    ``path NUL contents NUL`` so file boundaries cannot alias (moving
+    bytes between adjacent files changes the digest).
+    """
+    base = Path(root).resolve() if root is not None else _default_root()
+    cache_key = str(base)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py"), key=lambda p: p.relative_to(base).as_posix()):
+        digest.update(path.relative_to(base).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    _CACHE[cache_key] = fingerprint
+    return fingerprint
+
+
+def short_fingerprint(fingerprint: "str | None" = None) -> str:
+    """The 12-character prefix used in log lines and artifact names."""
+    return (fingerprint or code_fingerprint())[:12]
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop the memo (tests rewrite trees under a reused tmp path)."""
+    _CACHE.clear()

@@ -54,6 +54,8 @@ __all__ = [
     "RunReport",
     "canonical_results",
     "derive_seed",
+    "execute_tasks",
+    "experiment_entry",
     "map_families",
     "results_payload",
     "run_experiments",
@@ -199,33 +201,61 @@ def _chunk_size(task_count: int, jobs: int) -> int:
     return max(1, task_count // (jobs * 4))
 
 
-def _execute(
+def execute_tasks(
     payloads: Sequence[tuple[Any, ...]],
     worker: Callable[[Any], tuple[str, Any]],
     jobs: int,
-    chunk_size: int | None,
-    executor_factory: Callable[[int], Any] | None,
+    chunk_size: int | None = None,
+    executor_factory: Callable[[int], Any] | None = None,
+    *,
+    ordered: bool = True,
+    on_result: Callable[[str, Any, str], None] | None = None,
 ) -> tuple[dict[str, Any], dict[str, str], str | None]:
-    """Run ``worker`` over ``payloads``; returns (outcomes, modes, reason).
+    """The task/dispatch core: run ``worker`` over ``payloads``.
 
-    ``payloads`` are dispatched in the given order; each payload's first
-    element is its key.  Any pool-level failure (creation, pickling,
-    broken pool) degrades to serial execution of whatever is missing —
-    a task that *itself* raises will raise again serially, so the
-    parallel path introduces no new failure modes.
+    Returns ``(outcomes, modes, fallback_reason)``.  ``payloads`` are
+    dispatched in the given order; each payload's first element is its
+    key.  Any pool-level failure (creation, pickling, broken pool)
+    degrades to serial execution of whatever is missing — a task that
+    *itself* raises will raise again serially, so the parallel path
+    introduces no new failure modes.
+
+    ``ordered=True`` (the registry runner) ships tasks in chunks via
+    ``pool.map`` and collects results in payload order, amortizing IPC.
+    ``ordered=False`` (the fabric) submits one task per future and
+    collects in *completion* order — workers pull from the executor's
+    shared queue as they free up (work stealing), and ``on_result``
+    fires the moment a task lands, which is what lets the fabric
+    persist each record before the next one is even scheduled.
+    ``on_result(key, outcome, mode)`` is called exactly once per key in
+    both modes, including for tasks finished on the serial fallback
+    path.
     """
     outcomes: dict[str, Any] = {}
     modes: dict[str, str] = {}
     fallback_reason: str | None = None
+
+    def record(key: str, outcome: Any, mode: str) -> None:
+        outcomes[key] = outcome
+        modes[key] = mode
+        if on_result is not None:
+            on_result(key, outcome, mode)
 
     if jobs > 1 and len(payloads) > 1:
         factory = executor_factory or _default_executor_factory
         chunk = chunk_size if chunk_size else _chunk_size(len(payloads), jobs)
         try:
             with factory(jobs) as pool:
-                for key, outcome in pool.map(worker, payloads, chunksize=chunk):
-                    outcomes[key] = outcome
-                    modes[key] = "parallel"
+                if ordered:
+                    for key, outcome in pool.map(worker, payloads, chunksize=chunk):
+                        record(key, outcome, "parallel")
+                else:
+                    from concurrent.futures import as_completed
+
+                    futures = [pool.submit(worker, payload) for payload in payloads]
+                    for future in as_completed(futures):
+                        key, outcome = future.result()
+                        record(key, outcome, "parallel")
         except Exception as exc:  # degrade, never fail the run
             fallback_reason = f"{type(exc).__name__}: {exc}"
 
@@ -233,8 +263,7 @@ def _execute(
         if payload[0] in outcomes:
             continue
         key, outcome = worker(payload)
-        outcomes[key] = outcome
-        modes[key] = "serial"
+        record(key, outcome, "serial")
     return outcomes, modes, fallback_reason
 
 
@@ -261,7 +290,7 @@ def run_experiments(
     payloads = [(spec.experiment_id, seeds[spec.experiment_id]) for spec in dispatch]
 
     start = time.perf_counter()  # repro-lint: disable=DET001 -- wall-time metric only
-    outcomes, modes, fallback_reason = _execute(
+    outcomes, modes, fallback_reason = execute_tasks(
         payloads, _run_experiment_task, jobs, chunk_size, executor_factory
     )
     wall_s = time.perf_counter() - start  # repro-lint: disable=DET001 -- wall-time metric only
@@ -310,7 +339,7 @@ def map_families(
     order = sorted(range(len(specs)), key=lambda i: (-specs[i].size, specs[i].name))
     payloads = [(f"{i}:{specs[i].name}", task, specs[i], seeds[i]) for i in order]
 
-    outcomes, modes, _reason = _execute(
+    outcomes, modes, _reason = execute_tasks(
         payloads, _run_family_task, jobs, chunk_size, executor_factory
     )
     results = []
@@ -358,6 +387,26 @@ def _row_payload(row: SweepRow) -> dict[str, Any]:
     }
 
 
+def experiment_entry(result: ExperimentResult, seed: int) -> dict[str, Any]:
+    """The canonical (deterministic) JSON entry for one experiment run.
+
+    This is exactly the portion of a ``results`` entry that the
+    serial-vs-parallel identity contract covers — no timing, no
+    metrics, no worker bookkeeping.  The fabric stores this shape per
+    task, so a resumed record and a fresh run are comparable byte for
+    byte.
+    """
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "passed": result.passed,
+        "checks": dict(result.checks),
+        "columns": list(result.columns),
+        "rows": [_row_payload(row) for row in result.rows],
+        "seed": seed,
+    }
+
+
 def results_payload(report: RunReport) -> dict[str, Any]:
     """The full JSON artifact for a run (mirrors ``BENCH_views.json``)."""
     return {
@@ -377,13 +426,7 @@ def results_payload(report: RunReport) -> dict[str, Any]:
         },
         "results": [
             {
-                "experiment_id": run.result.experiment_id,
-                "title": run.result.title,
-                "passed": run.result.passed,
-                "checks": dict(run.result.checks),
-                "columns": list(run.result.columns),
-                "rows": [_row_payload(row) for row in run.result.rows],
-                "seed": run.seed,
+                **experiment_entry(run.result, run.seed),
                 "metrics": run.engine_metrics,
                 "timing": {
                     "wall_s": run.wall_s,
