@@ -11,7 +11,7 @@ FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
 # (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
 PERF_SMOKE_FLAGS ?=
 
-.PHONY: test bench perf perf-smoke faults-smoke invariants lint typecheck experiments fabric fabric-merge ci
+.PHONY: test bench perf perf-smoke faults-smoke artifacts-smoke invariants lint typecheck experiments fabric fabric-merge ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -27,6 +27,10 @@ perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs base
 
 faults-smoke:  ## zero-fault differential gate (see docs/FAULTS.md)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.faults.gate
+
+artifacts-smoke:  ## cold/warm artifact-serving differential gate (see docs/ARTIFACTS.md)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.artifacts gate \
+		--store ARTIFACTS_store.jsonl --out .
 
 invariants:  ## AST-based determinism/anonymity lint (see docs/LINT.md)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint --baseline LINT_BASELINE.json
@@ -59,4 +63,4 @@ fabric-merge:  ## fold the fabric store into the canonical merged artifact
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric merge \
 		FABRIC_results.jsonl --out RESULTS_experiments.json
 
-ci: lint typecheck invariants test faults-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs
+ci: lint typecheck invariants test faults-smoke artifacts-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

@@ -27,6 +27,7 @@ first (`repro.views.clear_caches`), measuring construction from nothing;
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
 import os
@@ -34,6 +35,7 @@ import platform
 import statistics
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -57,6 +59,13 @@ from repro.faults import FaultPlan, execute_with_faults  # noqa: E402
 from repro.runtime.algorithm import AnonymousAlgorithm  # noqa: E402
 from repro.runtime.engine import collect_engine_metrics, execute  # noqa: E402
 from repro.runtime.port_model import PortAwareAlgorithm, PortEmulation  # noqa: E402
+from repro.artifacts.service import ArtifactService  # noqa: E402
+from repro.artifacts.specs import (  # noqa: E402
+    quotient_spec,
+    refinement_spec,
+    views_spec,
+)
+from repro.artifacts.store import ArtifactStore  # noqa: E402
 from repro.views.local_views import all_views, view_builder  # noqa: E402
 from repro.views.refinement import color_refinement  # noqa: E402
 from repro.views.view_tree import clear_caches, intern_stats  # noqa: E402
@@ -95,6 +104,15 @@ CSR_SPEEDUP_FLOORS = {
     "refinement_torus/1024": 5.0,
     "views_cycle/64": 3.0,
 }
+
+# Artifact-service latency gate: a warm hit (memory tier) must beat a
+# cold miss (compute + persist) by at least this factor.  The ratio is
+# measured live within one run — cold and warm share the machine — so
+# the floor is hardware-independent and gated on the *current* run, not
+# on the committed baseline.
+ARTIFACT_NS = [256, 1024]
+ARTIFACT_RATIO_FLOOR = 10.0
+ARTIFACT_VIEW_DEPTH = 8
 
 
 def _colored(graph):
@@ -288,6 +306,77 @@ def run_runtime_benches(repeats: int) -> list:
     return rows
 
 
+def _serve_once(specs: list, service: ArtifactService) -> float:
+    """One service pass over ``specs``; returns the in-loop wall seconds
+    of ``get_many`` only (loop startup and store opening excluded).
+
+    A service instance holds no loop state between runs, so the same one
+    can serve across successive ``asyncio.run`` calls — which is exactly
+    the warm scenario: a long-lived front-end replaying prepared
+    requests."""
+
+    async def _run() -> float:
+        start = time.perf_counter()
+        await service.get_many(specs)
+        return time.perf_counter() - start
+
+    return asyncio.run(_run())
+
+
+def run_artifact_benches(repeats: int) -> dict:
+    """Cold-miss vs warm-hit service latency for the standard query mix
+    (refinement + views + quotient) on 2-hop colored cycles.
+
+    Cold resets everything a request could hit — memory tier, interned
+    trees, the persistent store file — so it pays compute, encoding and
+    fsync'd persistence.  Warm replays the same prepared requests
+    against the populated memory tier.  The per-``n`` ``ratio`` is
+    cold/warm on best samples; ``--check`` enforces
+    ``ARTIFACT_RATIO_FLOOR`` on it.
+    """
+    rows = []
+    for n in ARTIFACT_NS:
+        graph = _colored(with_uniform_input(cycle_graph(n)))
+        specs = [
+            refinement_spec(graph),
+            views_spec(graph, ARTIFACT_VIEW_DEPTH),
+            quotient_spec(graph, with_views=False),
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "store.jsonl"
+            cold_samples = []
+            service = None
+            for _ in range(repeats):
+                if path.exists():
+                    path.unlink()
+                clear_caches()
+                service = ArtifactService(ArtifactStore(path))
+                cold_samples.append(_serve_once(specs, service))
+            warm_samples = [_serve_once(specs, service) for _ in range(repeats)]
+        cold_best = min(cold_samples)
+        warm_best = min(warm_samples)
+        rows.append(
+            {
+                "bench": "artifact_service",
+                "n": n,
+                "queries": len(specs),
+                "cold": {
+                    "best_s": cold_best,
+                    "median_s": statistics.median(cold_samples),
+                    "repeats": repeats,
+                },
+                "warm": {
+                    "best_s": warm_best,
+                    "median_s": statistics.median(warm_samples),
+                    "repeats": repeats,
+                },
+                "ratio": round(cold_best / warm_best, 2),
+            }
+        )
+    clear_caches()
+    return {"ratio_floor": ARTIFACT_RATIO_FLOOR, "rows": rows}
+
+
 def run_suite(quick: bool, repeats: int) -> dict:
     view_ns = [8, 16, 32, 64] if quick else [8, 16, 32, 64, 96, 128]
     refine_ns = [16, 64, 128] if quick else [16, 64, 128, 256, 512]
@@ -387,8 +476,10 @@ def run_suite(quick: bool, repeats: int) -> dict:
         # block + fault workloads + ``faults_injected`` in counts;
         # 4 = ``csr`` section (speedups of the array kernels vs the
         # embedded pre-CSR reference timings) + refinement_cycle /
-        # refinement_torus / quotient_lift benches.
-        "schema": 4,
+        # refinement_torus / quotient_lift benches; 5 = ``artifacts``
+        # section (cold-miss vs warm-hit artifact-service latency with a
+        # live warm/cold ratio floor).
+        "schema": 5,
         "suite": "views-perf",
         "quick": quick,
         "machine": {
@@ -404,6 +495,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         },
         "results": rows,
         "runtime": run_runtime_benches(repeats),
+        "artifacts": run_artifact_benches(repeats),
     }
 
 
@@ -543,6 +635,35 @@ def _check_csr_floors(baseline: dict) -> tuple:
     return failures, lines if recorded else []
 
 
+def _check_artifact_ratios(current: dict) -> tuple:
+    """Validate the *current* run's warm/cold service ratios against the
+    floor.
+
+    Cold and warm are measured back to back on this machine within one
+    invocation, so the ratio needs no baseline and no machine match — a
+    warm hit that stopped beating a cold miss by ``ARTIFACT_RATIO_FLOOR``
+    means the read path regressed, wherever the check runs.  Returns
+    ``(failures, summary_lines)``.
+    """
+    section = current.get("artifacts", {})
+    rows = section.get("rows", [])
+    floor = section.get("ratio_floor", ARTIFACT_RATIO_FLOOR)
+    failures = []
+    lines = [f"artifact service cold/warm ratios (floor {floor:.1f}x, live):"]
+    for row in rows:
+        case = f"{row['bench']}/{row['n']}"
+        lines.append(
+            f"  {case}: cold {row['cold']['best_s'] * 1e3:.4f}ms "
+            f"warm {row['warm']['best_s'] * 1e3:.4f}ms -> {row['ratio']:.2f}x"
+        )
+        if row["ratio"] < floor:
+            failures.append(
+                f"  {case}: warm hits beat cold misses by only "
+                f"{row['ratio']:.2f}x (floor {floor:.1f}x)"
+            )
+    return failures, lines if rows else []
+
+
 def check_against_baseline(
     current: dict,
     baseline_path: Path,
@@ -578,10 +699,13 @@ def check_against_baseline(
     ratio = new_time / base_time
     table = _ratio_table(baseline, current)
     csr_failures, csr_lines = _check_csr_floors(baseline)
+    artifact_failures, artifact_lines = _check_artifact_ratios(current)
     _print_ratio_table(table, tolerance)
     for line in csr_lines:
         print(line)
-    _write_step_summary(table, csr_lines, tolerance)
+    for line in artifact_lines:
+        print(line)
+    _write_step_summary(table, csr_lines + artifact_lines, tolerance)
     print(
         f"perf-smoke guard: views cycle n={GUARD_N} cold "
         f"{new_time * 1e3:.3f}ms vs baseline {base_time * 1e3:.3f}ms "
@@ -593,6 +717,11 @@ def check_against_baseline(
     if csr_failures:
         print("CSR SPEEDUP FLOOR VIOLATION:")
         for line in csr_failures:
+            print(line)
+        return 2
+    if artifact_failures:
+        print("ARTIFACT CACHE RATIO FLOOR VIOLATION:")
+        for line in artifact_failures:
             print(line)
         return 2
     drift = _runtime_counts_drift(baseline, current)
@@ -624,6 +753,13 @@ def _print_table(payload: dict) -> None:
             f"{row['bench']:<26}{row['n']:>5}{row['best_s'] * 1e3:11.4f}ms"
             f"    rounds={counts['rounds']} msgs={counts['messages_sent']} "
             f"bits={counts['bits_drawn']}"
+        )
+    for row in payload.get("artifacts", {}).get("rows", []):
+        cold = row["cold"]["best_s"] * 1e3
+        warm = row["warm"]["best_s"] * 1e3
+        print(
+            f"{row['bench']:<26}{row['n']:>5}{cold:11.4f}ms{warm:11.4f}ms"
+            f"   ratio={row['ratio']:.2f}x"
         )
 
 

@@ -1,0 +1,150 @@
+"""The artifacts-smoke gate: cold/warm serving vs direct computation.
+
+CI's differential contract for the artifact layer, mirroring the fault
+subsystem's zero-fault gate: build the full 21-experiment view/quotient
+query mix, compute every payload *directly* (library calls, no store),
+then serve the same mix through the asyncio service twice against one
+persistent store file —
+
+* **cold**: fresh store file, cleared memory tier → every *distinct*
+  key must miss and compute exactly once (duplicate queries in the mix
+  hit the just-stored payload — that is the cache working, and the
+  payloads still have to match the direct reference byte for byte);
+* **warm**: the store file reopened in a logically fresh process state
+  (memory tier cleared again) → every query must be served from the
+  persistent tier (``computes == 0``, hit rate 100%).
+
+All three payload sets are written as canonical JSON files so CI can
+``cmp`` them byte for byte; any divergence, or a warm compute, fails the
+gate.  Exit codes: 0 ok, 1 differential or hit-rate failure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.artifacts.keys import artifact_key
+from repro.artifacts.producers import compute_payload
+from repro.artifacts.service import serve_all
+from repro.artifacts.specs import quotient_spec, refinement_spec, views_spec
+from repro.artifacts.store import ArtifactStore
+from repro.views.view_tree import clear_caches
+
+__all__ = ["build_query_mix", "main", "run_gate"]
+
+# Family pool the experiments draw from; each experiment id picks one
+# deterministically (seed-derived, position-independent).
+_GATE_SIZES = (4, 6, 8)
+_GATE_SEED = 7
+_VIEW_DEPTH_CAP = 6
+
+
+def build_query_mix() -> "list[dict[str, Any]]":
+    """Three queries (refinement, views, quotient) per registry
+    experiment, on a 2-hop colored family instance chosen per experiment
+    id — the registry's full breadth without its full cost."""
+    from repro.analysis.sweeps import standard_family_specs
+    from repro.experiments import all_experiment_ids
+    from repro.experiments.runner import derive_seed
+    from repro.graphs.coloring import apply_two_hop_coloring, greedy_two_hop_coloring
+
+    pool = standard_family_specs(
+        sizes=_GATE_SIZES, include_random=True, seed=_GATE_SEED
+    )
+    queries: "list[dict[str, Any]]" = []
+    for experiment_id in all_experiment_ids():
+        family = pool[derive_seed(experiment_id) % len(pool)]
+        graph = family.build()
+        graph = apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+        queries.append(refinement_spec(graph))
+        queries.append(views_spec(graph, min(graph.num_nodes, _VIEW_DEPTH_CAP)))
+        queries.append(quotient_spec(graph, with_views=False))
+    return queries
+
+
+def _write_payloads(
+    path: Path, queries: "list[dict[str, Any]]", payloads: "list[bytes]"
+) -> None:
+    """One canonical JSON file per serving mode, ``cmp``-able across
+    modes because entries are (key, payload) in request order."""
+    entries = [
+        {"key": artifact_key(spec), "kind": spec["kind"], "payload": payload.decode("utf-8")}
+        for spec, payload in zip(queries, payloads)
+    ]
+    text = json.dumps(
+        {"format": 1, "queries": entries}, sort_keys=True, separators=(",", ":")
+    )
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def run_gate(store_path: "str | Path", out_dir: "str | Path" = ".") -> int:
+    """Run the gate; returns a process exit code and prints the stable
+    ``artifacts-smoke`` summary line CI greps."""
+    store_file = Path(store_path)
+    output = Path(out_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    queries = build_query_mix()
+
+    # Direct reference: library calls only, no store in the path.
+    clear_caches()
+    direct = [compute_payload(spec) for spec in queries]
+    _write_payloads(output / "ARTIFACTS_direct.json", queries, direct)
+
+    # Cold: fresh store file, cleared memory — every query computes.
+    if store_file.exists():
+        store_file.unlink()
+    clear_caches()
+    cold, cold_stats = serve_all(queries, ArtifactStore(store_file))
+    _write_payloads(output / "ARTIFACTS_cold.json", queries, cold)
+
+    # Warm: reopen the same file with a cleared memory tier — every
+    # query must land in the persistent tier, zero computes.
+    clear_caches()
+    warm, warm_stats = serve_all(queries, ArtifactStore(store_file))
+    _write_payloads(output / "ARTIFACTS_warm.json", queries, warm)
+
+    failures: "list[str]" = []
+    if cold != direct:
+        failures.append("cold payloads diverge from direct computation")
+    if warm != direct:
+        failures.append("warm payloads diverge from direct computation")
+    distinct = len({artifact_key(spec) for spec in queries})
+    cold_computes = cold_stats["service"]["computes"]
+    if cold_computes != distinct:
+        failures.append(
+            f"cold run computed {cold_computes}, expected one per distinct "
+            f"key ({distinct})"
+        )
+    warm_computes = warm_stats["service"]["computes"]
+    warm_hits = warm_stats["service"]["hits"]
+    if warm_computes != 0 or warm_hits != len(queries):
+        failures.append(
+            f"warm run hit {warm_hits}/{len(queries)} with {warm_computes} computes"
+        )
+    for failure in failures:
+        print(f"artifacts-smoke FAIL: {failure}")
+    print(
+        f"artifacts-smoke {'ok' if not failures else 'FAILED'}: "
+        f"queries={len(queries)} distinct={distinct} "
+        f"cold_computes={cold_computes} warm_hits={warm_hits} "
+        f"warm_computes={warm_computes} store={store_file}"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.artifacts gate", description=__doc__
+    )
+    parser.add_argument(
+        "--store", default="ARTIFACTS_store.jsonl", help="persistent store file"
+    )
+    parser.add_argument(
+        "--out", default=".", help="directory for the three payload JSON files"
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.store, args.out)

@@ -1,0 +1,117 @@
+"""Producers: the ``spec -> live object`` compute side of the store.
+
+One producer per artifact kind, each a thin adapter from a spec (see
+:mod:`repro.artifacts.specs`) onto the library function that actually
+computes the object — so a cache miss runs exactly the code a direct
+call would, including the library's own memory-tier memos.
+
+:func:`compute_payload` composes a producer with its canonical encoder;
+it is the single compute entry point shared by the synchronous store,
+the asyncio service's fan-out workers and the artifacts-smoke gate's
+direct-computation reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.artifacts.encoders import encoder_for, project_pipeline
+from repro.exceptions import ArtifactError
+from repro.factor.quotient import infinite_view_graph
+from repro.graphs.io import _decode, graph_from_dict
+from repro.views.local_views import all_views, view
+from repro.views.refinement import color_refinement
+
+__all__ = [
+    "ArtifactProducer",
+    "compute_artifact",
+    "compute_payload",
+    "producer_for",
+]
+
+
+@dataclass(frozen=True)
+class ArtifactProducer:
+    kind: str
+    compute: "Callable[[dict[str, Any]], Any]"
+
+
+def _graph_of(spec: "dict[str, Any]"):
+    try:
+        return graph_from_dict(spec["graph"])
+    except KeyError:
+        raise ArtifactError(f"spec for kind {spec.get('kind')!r} lacks a 'graph'") from None
+
+
+def _compute_refinement(spec: "dict[str, Any]") -> Any:
+    return color_refinement(_graph_of(spec))
+
+
+def _compute_views(spec: "dict[str, Any]") -> Any:
+    return all_views(_graph_of(spec), spec["depth"])
+
+
+def _compute_view_tree(spec: "dict[str, Any]") -> Any:
+    return view(_graph_of(spec), _decode(spec["node"]), spec["depth"])
+
+
+def _compute_quotient(spec: "dict[str, Any]") -> Any:
+    return infinite_view_graph(_graph_of(spec), with_views=spec["with_views"])
+
+
+def _compute_derandomized_run(spec: "dict[str, Any]") -> Any:
+    # Bundles live behind the experiment registry; import lazily so the
+    # artifact layer does not pull the whole experiments package in for
+    # view/quotient traffic.
+    from repro.core.derandomize import derandomize_pipeline
+    from repro.experiments.theorems import _bundles
+
+    bundles = _bundles()
+    problem = spec["problem"]
+    if problem not in bundles:
+        raise ArtifactError(
+            f"unknown GRAN bundle {problem!r}; known: {', '.join(sorted(bundles))}"
+        )
+    instance = _graph_of(spec)
+    result = derandomize_pipeline(
+        bundles[problem],
+        instance,
+        seed=spec["seed"],
+        strategy=spec.get("strategy", "lexicographic"),
+        max_assignment_length=spec.get("max_assignment_length", 64),
+    )
+    return project_pipeline(instance, result)
+
+
+_PRODUCERS: "dict[str, ArtifactProducer]" = {
+    "refinement": ArtifactProducer("refinement", _compute_refinement),
+    "views": ArtifactProducer("views", _compute_views),
+    "view-tree": ArtifactProducer("view-tree", _compute_view_tree),
+    "quotient": ArtifactProducer("quotient", _compute_quotient),
+    "derandomized-run": ArtifactProducer(
+        "derandomized-run", _compute_derandomized_run
+    ),
+}
+
+
+def producer_for(kind: str) -> ArtifactProducer:
+    try:
+        return _PRODUCERS[kind]
+    except KeyError:
+        raise ArtifactError(
+            f"no producer for artifact kind {kind!r}; known: "
+            f"{', '.join(sorted(_PRODUCERS))}"
+        ) from None
+
+
+def compute_artifact(spec: "dict[str, Any]") -> Any:
+    """The live object a spec describes (runs the library function)."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ArtifactError(f"artifact spec must be a dict with a 'kind': {spec!r}")
+    return producer_for(spec["kind"]).compute(spec)
+
+
+def compute_payload(spec: "dict[str, Any]") -> bytes:
+    """The canonical payload bytes for a spec: compute, then encode."""
+    return encoder_for(spec["kind"]).encode(compute_artifact(spec))

@@ -1,0 +1,76 @@
+"""Spec builders: the JSON descriptions behind artifact keys.
+
+A spec fully describes one canonical question: the kind, the instance
+(embedded with :func:`repro.graphs.io.graph_to_dict`, so the address
+depends on graph *structure*, never on instance identity) and the
+question's parameters.  Producers answer specs; keys digest them.  Keep
+these builders in sync with :mod:`repro.artifacts.producers` — every
+spec field is key material, so renaming one rotates addresses exactly
+like a code change would (harmless, but deliberate-only).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.io import _encode, graph_to_dict
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+__all__ = [
+    "derandomized_run_spec",
+    "quotient_spec",
+    "refinement_spec",
+    "view_tree_spec",
+    "views_spec",
+]
+
+
+def refinement_spec(graph: LabeledGraph) -> "dict[str, Any]":
+    """Stable color refinement of ``graph`` (uncapped runs only: capped
+    runs observe transient partitions and are not artifacts)."""
+    return {"kind": "refinement", "graph": graph_to_dict(graph)}
+
+
+def views_spec(graph: LabeledGraph, depth: int) -> "dict[str, Any]":
+    """All depth-``depth`` views ``L_depth(v, graph)``."""
+    return {"kind": "views", "depth": int(depth), "graph": graph_to_dict(graph)}
+
+
+def view_tree_spec(graph: LabeledGraph, node: Node, depth: int) -> "dict[str, Any]":
+    """The single view ``L_depth(node, graph)``."""
+    return {
+        "kind": "view-tree",
+        "node": _encode(node),
+        "depth": int(depth),
+        "graph": graph_to_dict(graph),
+    }
+
+
+def quotient_spec(graph: LabeledGraph, with_views: bool = False) -> "dict[str, Any]":
+    """The view quotient ``G_∞`` (``with_views`` adds the canonical
+    depth-``n`` node aliases, i.e. ``G_*``)."""
+    return {
+        "kind": "quotient",
+        "with_views": bool(with_views),
+        "graph": graph_to_dict(graph),
+    }
+
+
+def derandomized_run_spec(
+    problem: str,
+    graph: LabeledGraph,
+    seed: int,
+    strategy: str = "lexicographic",
+    max_assignment_length: int = 64,
+) -> "dict[str, Any]":
+    """One two-stage derandomization pipeline run.  ``problem`` names a
+    GRAN bundle from the experiment registry (``mis``, ``coloring``,
+    ``2-hop-coloring``, ``matching``); ``seed`` drives stage 1 only."""
+    return {
+        "kind": "derandomized-run",
+        "problem": problem,
+        "seed": int(seed),
+        "strategy": strategy,
+        "max_assignment_length": int(max_assignment_length),
+        "graph": graph_to_dict(graph),
+    }

@@ -57,6 +57,12 @@ class ProblemError(ReproError):
     """A distributed problem was given an invalid instance or output."""
 
 
+class ArtifactError(ReproError):
+    """The content-addressed artifact layer was given an unknown kind, a
+    malformed spec/payload, or found a store record whose payload does
+    not match its recorded digest."""
+
+
 class DerandomizationError(ReproError):
     """The A*/A-infinity machinery hit an internal inconsistency (these
     indicate bugs or an input outside the theorem's hypotheses, such as a

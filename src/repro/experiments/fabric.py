@@ -306,16 +306,24 @@ def _run_fabric_task(
     """
     key, task_id, kind, spec, seed, fingerprint = payload
     import repro.experiments  # noqa: F401  (registration on spawn)
+    from repro.artifacts.store import record_artifact_keys
 
-    if kind == "experiment":
-        result = get_spec(spec["experiment_id"]).run(seed=seed)
-        entry: Any = experiment_entry(result, seed)
-    elif kind == "grid":
-        graph = spec_from_dict(spec["family"]).build()
-        kernel = get_kernel(spec["kernel"])
-        entry = _jsonify(kernel(graph, spec["value"], seed))
-    else:
-        raise ReproError(f"unknown fabric task kind {kind!r}")
+    # Record which canonical artifacts (refinements, views, quotients)
+    # the task fetched: sweep records and served artifact queries share
+    # one content-address space, so a stored record names exactly the
+    # store entries that would warm-start it.  Keys are pure functions of
+    # (code fingerprint, structure), so the record stays byte-identical
+    # across serial/parallel/resumed runs.
+    with record_artifact_keys() as artifact_keys:
+        if kind == "experiment":
+            result = get_spec(spec["experiment_id"]).run(seed=seed)
+            entry: Any = experiment_entry(result, seed)
+        elif kind == "grid":
+            graph = spec_from_dict(spec["family"]).build()
+            kernel = get_kernel(spec["kernel"])
+            entry = _jsonify(kernel(graph, spec["value"], seed))
+        else:
+            raise ReproError(f"unknown fabric task kind {kind!r}")
     record = {
         "key": key,
         "task_id": task_id,
@@ -324,6 +332,7 @@ def _run_fabric_task(
         "seed": seed,
         "spec": spec,
         "result": entry,
+        "artifacts": sorted(artifact_keys),
     }
     return key, record
 

@@ -22,7 +22,7 @@ from typing import Any
 
 from repro.exceptions import ReproError
 
-__all__ = ["ResultStore", "StoreCorrupt", "scan_store"]
+__all__ = ["ResultStore", "StoreCorrupt", "rewrite_store", "scan_store"]
 
 
 class StoreCorrupt(ReproError):
@@ -77,6 +77,27 @@ def scan_store(path: "str | Path") -> "dict[str, dict[str, Any]]":
         return {}
     records, _good = _parse_lines(target.read_bytes(), target)
     return records
+
+
+def rewrite_store(path: "str | Path", records: "dict[str, dict[str, Any]]") -> None:
+    """Atomically replace a store file with exactly ``records``.
+
+    The one sanctioned way to *remove* records (the append-only contract
+    stays intact for the live file): records are written to a sibling
+    temp file in sorted key order, fsync'd, then moved over the original
+    with :func:`os.replace` — a crash at any point leaves either the old
+    complete file or the new complete file, never a mix.  Used by
+    ``python -m repro.artifacts gc`` to drop stale-fingerprint entries.
+    """
+    target = Path(path)
+    temp = target.with_name(target.name + ".rewrite")
+    with open(temp, "wb") as handle:
+        for key in sorted(records):
+            line = json.dumps(records[key], sort_keys=True, separators=(",", ":"))
+            handle.write(line.encode("utf-8") + b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, target)
 
 
 class ResultStore:

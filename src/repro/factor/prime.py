@@ -21,7 +21,7 @@ from repro.exceptions import FactorError, GraphError
 from repro.factor.factorizing_map import FactorizingMap
 from repro.graphs.labeled_graph import LabeledGraph, Node
 from repro.graphs.isomorphism import are_isomorphic
-from repro.views.refinement import color_refinement
+from repro.views.refinement import refinement_indices
 
 
 def is_prime(graph: LabeledGraph) -> bool:
@@ -46,7 +46,11 @@ def all_factors(
         raise GraphError(
             f"all_factors is exhaustive and limited to 16 nodes, got {graph.num_nodes}"
         )
-    classes = color_refinement(graph).classes
+    # View classes through the artifact store's shared refinement memo
+    # (the same path quotient construction takes, so a factor-enumeration
+    # pass after a quotient never re-refines).
+    csr, colors = refinement_indices(graph)
+    classes: dict[Node, int] = dict(zip(csr.nodes, colors))
     n = graph.num_nodes
     results: list[FactorizingMap] = []
     for fiber_size in _divisors(n):

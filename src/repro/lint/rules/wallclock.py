@@ -37,6 +37,13 @@ class NoWallClockOrFloatsInEncoders(Rule):
         "src/repro/graphs/encoding.py",
         "src/repro/graphs/isomorphism.py",
         "src/repro/factor/",
+        # The artifact layer's canonical byte encoders and key
+        # derivation: payload equality is byte equality, so they get the
+        # same exactness contract.  (The store/service modules are
+        # serving machinery, not encoders — they may time and batch.)
+        "src/repro/artifacts/encoders.py",
+        "src/repro/artifacts/keys.py",
+        "src/repro/artifacts/specs.py",
     )
 
     def check(self, module) -> Iterator[Finding]:

@@ -28,8 +28,8 @@ skips the refinement round entirely.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
+from repro.artifacts.specs import views_spec
+from repro.artifacts.store import memory_bucket, note_artifact
 from repro.exceptions import ViewError
 from repro.graphs.csr import csr_of, refine_step
 from repro.graphs.labeled_graph import LabeledGraph, Node
@@ -212,15 +212,13 @@ class ViewBuilder:
         return [tuple(groups[c]) for c in ordered]
 
 
-# Builder registry: a small LRU keyed by the graph itself (equality and
-# hash are structural, so equal instances share a builder — their views
-# are provably identical).  The registry is emptied by
-# ``repro.views.view_tree.clear_caches`` because cached levels hold
-# interned trees.
-_BUILDERS: "OrderedDict[LabeledGraph, ViewBuilder]" = OrderedDict()
-_BUILDER_CACHE_SIZE = 8
-
-view_tree.register_cache_clearer(_BUILDERS.clear)
+# Builder registry: the "view-builder" bucket of the artifact store's
+# memory tier, keyed by the graph itself (equality and hash are
+# structural, so equal instances share a builder — their views are
+# provably identical).  The bucket is emptied by
+# ``repro.views.view_tree.clear_caches`` through the store's memory
+# tier because cached levels hold interned trees.
+_BUILDERS = memory_bucket("view-builder", capacity=8)
 
 
 def view_builder(graph: LabeledGraph) -> ViewBuilder:
@@ -229,17 +227,15 @@ def view_builder(graph: LabeledGraph) -> ViewBuilder:
     equal — graph share it."""
     builder = _BUILDERS.get(graph)
     if builder is not None:
-        _BUILDERS.move_to_end(graph)
         return builder
     builder = ViewBuilder(graph)
-    _BUILDERS[graph] = builder
-    if len(_BUILDERS) > _BUILDER_CACHE_SIZE:
-        _BUILDERS.popitem(last=False)
+    _BUILDERS.put(graph, builder)
     return builder
 
 
 def all_views(graph: LabeledGraph, depth: int) -> dict[Node, ViewTree]:
     """The views ``L_depth(v, graph)`` for every node ``v``."""
+    note_artifact(lambda: views_spec(graph, depth))
     return view_builder(graph).views(depth)
 
 

@@ -32,29 +32,25 @@ stabilization depth is one of our experiment outputs.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
 
+from repro.artifacts.specs import refinement_spec
+from repro.artifacts.store import memory_bucket, note_artifact
 from repro.graphs.csr import CSRGraph, csr_of, refine
 from repro.graphs.labeled_graph import LabeledGraph, Node
-from repro.views import view_tree
 
-# Memoized uncapped runs, keyed by the graph itself: LabeledGraph
+# Memoized uncapped runs: the "refinement" bucket of the artifact
+# store's memory tier, keyed by the graph itself — LabeledGraph
 # equality/hash delegate to structure_key(), so structurally identical
 # instances share one entry (same-instance lookups still short-circuit
 # on identity inside the dict) and no id()-pinning tuple is needed.
 # Entries also keep the dense color list for array-level consumers
 # (quotients, canonical orders).  Same LRU discipline as the ViewBuilder
-# registry; cleared with the view caches so benchmark sessions stay
-# bounded.
-_RESULT_CACHE: "OrderedDict[LabeledGraph, tuple[RefinementResult, list[int]]]" = (
-    OrderedDict()
-)
-_RESULT_CACHE_SIZE = 16
-
-view_tree.register_cache_clearer(_RESULT_CACHE.clear)
+# registry; emptied by ``repro.views.view_tree.clear_caches`` through
+# the store's memory tier, so benchmark sessions stay bounded.
+_RESULTS = memory_bucket("refinement", capacity=16)
 
 
 @dataclass(frozen=True)
@@ -115,9 +111,9 @@ def color_refinement(
     is shared between cache hits; its ``classes`` mapping is read-only.
     """
     if max_rounds is None:
-        cached = _RESULT_CACHE.get(graph)
+        note_artifact(lambda: refinement_spec(graph))
+        cached = _RESULTS.get(graph)
         if cached is not None:
-            _RESULT_CACHE.move_to_end(graph)
             return cached[0]
     csr = csr_of(graph)
     color, rounds, history, stable = refine(csr, max_rounds)
@@ -128,9 +124,7 @@ def color_refinement(
         stable=stable,
     )
     if max_rounds is None and stable:
-        _RESULT_CACHE[graph] = (result, color)
-        if len(_RESULT_CACHE) > _RESULT_CACHE_SIZE:
-            _RESULT_CACHE.popitem(last=False)
+        _RESULTS.put(graph, (result, color))
     return result
 
 
@@ -140,14 +134,12 @@ def refinement_indices(graph: LabeledGraph) -> tuple[CSRGraph, list[int]]:
     ``csr.nodes[i]``).  Shares the :func:`color_refinement` memo; array
     consumers (quotient construction, canonical node orders) use this to
     stay in flat-int land."""
-    cached = _RESULT_CACHE.get(graph)
+    cached = _RESULTS.get(graph)
     if cached is None:
         result = color_refinement(graph)
-        cached = _RESULT_CACHE.get(graph)
+        cached = _RESULTS.get(graph)
         if cached is None:  # cache tiny or disabled: rebuild from classes
             return csr_of(graph), [result.classes[v] for v in graph.nodes]
-    else:
-        _RESULT_CACHE.move_to_end(graph)
     return csr_of(graph), cached[1]
 
 

@@ -347,13 +347,22 @@ _MAKE_TOKEN = object()
 
 
 def clear_caches() -> None:
-    """Empty the intern table, rank tables, truncation cache and every
-    registered dependent cache (view builders, …).
+    """Empty the intern/rank tables, then delegate every producer memo
+    (refinement results, view builders, quotients, encoded payloads) to
+    the artifact store's memory tier — one eviction path for everything
+    that may hold interned trees (plus any legacy hooks).
 
     Intended for long benchmark sessions so parametrized cases don't
     accumulate unbounded interned trees.  Trees created *before* a clear
     must not be mixed with trees created after it (their ranks refer to
     the discarded tables); clear only between independent workloads.
+
+    The one cache deliberately *not* cleared is the per-instance CSR
+    mirror (``LabeledGraph._csr``): it is identity-keyed on the graph
+    instance, holds flat int arrays and no interned trees (so it cannot
+    dangle across an interning epoch), and is garbage-collected with its
+    graph — clearing it would only force rebuilds.  See
+    ``docs/PERFORMANCE.md``.
     """
     _INTERN.clear()
     _TRUNCATE_CACHE.clear()
@@ -366,6 +375,10 @@ def clear_caches() -> None:
     _BUCKETS.clear()
     _STATS["mark_renumbers"] = 0
     _STATS["bucket_shifts"] = 0
+    # Lazy import: this module loads before the artifact layer does.
+    from repro.artifacts.store import clear_memory_tier
+
+    clear_memory_tier()
     for hook in _CACHE_CLEAR_HOOKS:
         hook()
 

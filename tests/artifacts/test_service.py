@@ -1,0 +1,187 @@
+"""The asyncio artifact service: dedup, batching, ordering, errors."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.artifacts.keys import artifact_key
+from repro.artifacts.service import ArtifactService, serve_all
+from repro.artifacts.specs import refinement_spec, views_spec
+from repro.artifacts.store import ArtifactStore
+from repro.exceptions import ArtifactError
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.views.view_tree import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_tier():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class CountingCompute:
+    """Injectable compute: canonical payloads, thread-safe call ledger."""
+
+    def __init__(self, delay: float = 0.0, poison: "dict | None" = None):
+        self.calls: "list[dict]" = []
+        self._lock = threading.Lock()
+        self._delay = delay
+        self._poison = poison
+
+    def __call__(self, spec: "dict") -> bytes:
+        with self._lock:
+            self.calls.append(spec)
+        if self._delay:
+            time.sleep(self._delay)
+        if self._poison is not None and spec == self._poison:
+            raise ArtifactError("poisoned spec")
+        return json.dumps(spec, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+
+
+def _specs(count: int, start: int = 4) -> "list[dict]":
+    return [
+        refinement_spec(with_uniform_input(cycle_graph(start + i)))
+        for i in range(count)
+    ]
+
+
+def test_n_concurrent_identical_requests_compute_exactly_once():
+    spec = _specs(1)[0]
+    compute = CountingCompute(delay=0.01)
+    service = ArtifactService(compute=compute)
+
+    async def run():
+        return await asyncio.gather(*(service.get(spec) for _ in range(16)))
+
+    payloads = asyncio.run(run())
+    assert len(compute.calls) == 1
+    assert len(set(payloads)) == 1
+    assert service.counters["requests"] == 16
+    assert service.counters["computes"] == 1
+    assert service.counters["dedup_hits"] == 15
+
+
+def test_batched_mixed_requests_return_in_request_order():
+    distinct = _specs(7)
+    mix = distinct + [distinct[2], distinct[0]] + list(reversed(distinct))
+    compute = CountingCompute()
+    service = ArtifactService(compute=compute, max_batch=3)
+
+    async def run():
+        return await service.get_many(mix)
+
+    payloads = asyncio.run(run())
+    assert payloads == [compute(spec) for spec in mix]
+    # Each distinct spec computed once; duplicates were dedup or hits.
+    assert service.counters["computes"] == len(distinct)
+    assert service.counters["batches"] >= 3  # max_batch=3 over 7 misses
+
+
+def test_requests_after_the_first_batch_hit_the_store():
+    spec = _specs(1)[0]
+    compute = CountingCompute()
+    service = ArtifactService(compute=compute)
+
+    async def run():
+        first = await service.get(spec)
+        second = await service.get(spec)
+        return first, second
+
+    first, second = asyncio.run(run())
+    assert first == second
+    assert service.counters == {
+        "requests": 2,
+        "hits": 1,
+        "dedup_hits": 0,
+        "computes": 1,
+        "batches": 1,
+        "errors": 0,
+    }
+
+
+def test_errors_fail_only_their_own_future():
+    specs = _specs(3)
+    compute = CountingCompute(poison=specs[1])
+    service = ArtifactService(compute=compute)
+
+    async def run():
+        results = await asyncio.gather(
+            *(service.get(spec) for spec in specs), return_exceptions=True
+        )
+        return results
+
+    good_a, failure, good_b = asyncio.run(run())
+    assert isinstance(failure, ArtifactError)
+    assert "poisoned spec" in str(failure)
+    assert isinstance(good_a, bytes)
+    assert isinstance(good_b, bytes)
+    assert service.counters["errors"] == 1
+    # The poisoned key is not cached: a retry recomputes it.
+    assert service.store.lookup(artifact_key(specs[1])) is None
+
+
+def test_computed_payloads_persist_through_the_store(tmp_path):
+    path = tmp_path / "store.jsonl"
+    specs = _specs(3)
+    payloads, _stats = serve_all(specs, ArtifactStore(path))
+
+    clear_caches()
+    recompute = CountingCompute()
+    warm_service = ArtifactService(ArtifactStore(path), compute=recompute)
+
+    async def run():
+        return await warm_service.get_many(specs)
+
+    warm = asyncio.run(run())
+    assert warm == payloads
+    assert recompute.calls == []
+    assert warm_service.counters["hits"] == len(specs)
+
+
+def test_serve_all_returns_request_order_and_stats():
+    specs = _specs(4)
+    mix = [specs[3], specs[0], specs[3], specs[1]]
+    payloads, stats = serve_all(mix)
+    direct = {artifact_key(spec): spec for spec in mix}
+    for spec, payload in zip(mix, payloads):
+        assert isinstance(payload, bytes)
+    assert payloads[0] == payloads[2]
+    assert stats["service"]["requests"] == 4
+    assert stats["service"]["computes"] == 3
+
+
+def test_prepared_request_key_memo_is_object_keyed():
+    spec = _specs(1)[0]
+    service = ArtifactService(compute=CountingCompute())
+    key = service._key_of(spec)
+    assert service._key_of(spec) == key == artifact_key(spec)
+    # An equal-but-distinct dict still derives the same content key.
+    assert service._key_of(dict(spec)) == key
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ArtifactError):
+        ArtifactService(jobs=0)
+    with pytest.raises(ArtifactError):
+        ArtifactService(max_batch=0)
+
+
+def test_real_compute_end_to_end():
+    # No injected compute: the service runs the actual producers and the
+    # payloads match the synchronous read-through path byte for byte.
+    g = with_uniform_input(cycle_graph(6))
+    specs = [refinement_spec(g), views_spec(g, 3)]
+    payloads, stats = serve_all(specs)
+    clear_caches()
+    from repro.artifacts.producers import compute_payload
+
+    assert payloads == [compute_payload(spec) for spec in specs]
+    assert stats["service"]["computes"] == 2

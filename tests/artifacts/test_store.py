@@ -1,0 +1,246 @@
+"""The artifact store: keys, memory buckets, persistence, recording."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifacts.keys import artifact_key, canonical_spec, payload_digest
+from repro.artifacts.producers import compute_payload
+from repro.artifacts.specs import refinement_spec, views_spec
+from repro.artifacts.store import (
+    ArtifactStore,
+    MemoryBucket,
+    clear_memory_tier,
+    memory_bucket,
+    memory_stats,
+    record_artifact_keys,
+)
+from repro.exceptions import ArtifactError
+from repro.experiments.fingerprint import code_fingerprint
+from repro.experiments.store import rewrite_store, scan_store
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.views.local_views import all_views
+from repro.views.refinement import color_refinement
+from repro.views.view_tree import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_tier():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _graph(n=6):
+    return with_uniform_input(cycle_graph(n))
+
+
+class TestKeys:
+    def test_spec_must_carry_a_kind(self):
+        with pytest.raises(ArtifactError):
+            artifact_key({"graph": {}})
+
+    def test_canonical_spec_is_order_independent(self):
+        a = {"kind": "refinement", "graph": {"nodes": [1, 2]}}
+        b = {"graph": {"nodes": [1, 2]}, "kind": "refinement"}
+        assert canonical_spec(a) == canonical_spec(b)
+        assert artifact_key(a) == artifact_key(b)
+
+    def test_key_embeds_the_code_fingerprint(self):
+        spec = refinement_spec(_graph())
+        current = artifact_key(spec)
+        assert current == artifact_key(spec, fingerprint=code_fingerprint())
+        assert current != artifact_key(spec, fingerprint="f" * 64)
+
+    def test_distinct_specs_get_distinct_keys(self):
+        g = _graph()
+        keys = {
+            artifact_key(refinement_spec(g)),
+            artifact_key(views_spec(g, 2)),
+            artifact_key(views_spec(g, 3)),
+            artifact_key(refinement_spec(_graph(7))),
+        }
+        assert len(keys) == 4
+
+    def test_payload_digest_is_content_addressed(self):
+        assert payload_digest(b"abc") == payload_digest(b"abc")
+        assert payload_digest(b"abc") != payload_digest(b"abd")
+
+
+class TestMemoryBucket:
+    def test_lru_eviction_order(self):
+        bucket = MemoryBucket("test-lru", capacity=2)
+        bucket.put("a", 1)
+        bucket.put("b", 2)
+        assert bucket.get("a") == 1  # refreshes "a": "b" is now oldest
+        bucket.put("c", 3)
+        assert "b" not in bucket
+        assert bucket.get("a") == 1 and bucket.get("c") == 3
+        assert bucket.evictions == 1
+
+    def test_counters(self):
+        bucket = MemoryBucket("test-counters", capacity=4)
+        assert bucket.get("missing") is None
+        bucket.put("k", "v")
+        assert bucket.get("k") == "v"
+        assert bucket.stats() == {
+            "size": 1,
+            "capacity": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ArtifactError):
+            MemoryBucket("test-bad", capacity=0)
+
+    def test_registry_shares_buckets_and_clear_keeps_counters(self):
+        bucket = memory_bucket("test-registry", capacity=3)
+        assert memory_bucket("test-registry") is bucket
+        bucket.put("k", "v")
+        bucket.get("k")
+        clear_memory_tier()
+        assert len(bucket) == 0
+        assert bucket.hits == 1  # counters describe the process
+        assert "test-registry" in memory_stats()
+
+
+class TestArtifactStore:
+    def test_memory_only_fetch_computes_once(self):
+        store = ArtifactStore()
+        spec = refinement_spec(_graph())
+        first = store.fetch(spec)
+        assert store.lookup(artifact_key(spec)) == first
+        assert store.fetch(spec) == first
+        assert store.stores == 1
+
+    def test_fetch_matches_direct_computation(self):
+        spec = views_spec(_graph(), 3)
+        assert ArtifactStore().fetch(spec) == compute_payload(spec)
+
+    def test_persistent_round_trip_survives_reopen(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = refinement_spec(_graph())
+        key = artifact_key(spec)
+        with ArtifactStore(path) as store:
+            payload = store.fetch(spec)
+        clear_caches()
+        with ArtifactStore(path) as reopened:
+            assert reopened.lookup(key) == payload
+            assert reopened.persistent_hits == 1
+            # Promotion: the second lookup is a memory hit.
+            assert reopened.lookup(key) == payload
+            assert reopened.persistent_hits == 1
+
+    def test_persist_is_append_once(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = refinement_spec(_graph())
+        with ArtifactStore(path) as store:
+            store.fetch(spec)
+            store.persist(artifact_key(spec), spec, b'{"other": 1}')
+        # The persistent tier kept the first payload.
+        record = scan_store(path)[artifact_key(spec)]
+        assert record["payload"] != '{"other": 1}'
+
+    def test_digest_mismatch_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = refinement_spec(_graph())
+        key = artifact_key(spec)
+        with ArtifactStore(path) as store:
+            store.fetch(spec)
+        records = scan_store(path)
+        records[key]["payload"] = records[key]["payload"][:-2] + "]}"
+        rewrite_store(path, records)
+        clear_caches()
+        with ArtifactStore(path) as corrupted:
+            with pytest.raises(ArtifactError, match="digest mismatch"):
+                corrupted.lookup(key)
+
+    def test_gc_drops_stale_fingerprints(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = refinement_spec(_graph())
+        stale_key = artifact_key(spec, fingerprint="f" * 64)
+        with ArtifactStore(path) as store:
+            store.fetch(spec)
+            store.persist(stale_key, spec, b'{"stale": true}', fingerprint="f" * 64)
+        records = scan_store(path)
+        assert len(records) == 2
+        current = code_fingerprint()
+        kept = {
+            key: record
+            for key, record in records.items()
+            if record["fingerprint"] == current
+        }
+        rewrite_store(path, kept)
+        assert set(scan_store(path)) == {artifact_key(spec)}
+
+    def test_stale_fingerprint_is_a_miss_not_a_wrong_answer(self, tmp_path):
+        # A key minted under another fingerprint never collides with the
+        # current one, so old payloads are unreachable — the store serves
+        # them only to a process whose code hashes identically.
+        path = tmp_path / "store.jsonl"
+        spec = refinement_spec(_graph())
+        with ArtifactStore(path) as store:
+            store.persist(
+                artifact_key(spec, fingerprint="f" * 64),
+                spec,
+                b'{"stale": true}',
+                fingerprint="f" * 64,
+            )
+            assert store.lookup(artifact_key(spec)) is None
+
+    def test_stats_shape(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ArtifactStore(path) as store:
+            store.fetch(refinement_spec(_graph()))
+            stats = store.stats()
+        assert stats["persistent"]["enabled"]
+        assert stats["persistent"]["records"] == 1
+        assert stats["persistent"]["by_kind"] == {"refinement": 1}
+        assert stats["stores"] == 1
+        assert "payload" in stats["memory"]
+
+
+class TestRecording:
+    def test_producers_note_their_artifact_keys(self):
+        g = _graph()
+        with record_artifact_keys() as keys:
+            color_refinement(g)
+            all_views(g, 3)
+        assert keys == {
+            artifact_key(refinement_spec(g)),
+            artifact_key(views_spec(g, 3)),
+        }
+
+    def test_cached_fetches_still_record(self):
+        g = _graph()
+        color_refinement(g)  # warm the bucket outside any recorder
+        with record_artifact_keys() as keys:
+            color_refinement(g)
+        assert keys == {artifact_key(refinement_spec(g))}
+
+    def test_no_recording_outside_the_context(self):
+        with record_artifact_keys() as keys:
+            pass
+        color_refinement(_graph())
+        assert keys == set()
+
+    def test_fabric_records_carry_artifact_keys(self, tmp_path):
+        from repro.experiments.fabric import experiment_tasks, run_tasks
+
+        store_path = tmp_path / "fabric.jsonl"
+        run_tasks(experiment_tasks(["figure1"]), store_path, jobs=1)
+        records = list(scan_store(store_path).values())
+        assert records, "fabric wrote no records"
+        for record in records:
+            assert record["artifacts"] == sorted(record["artifacts"])
+            for key in record["artifacts"]:
+                assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+        assert any(record["artifacts"] for record in records)
+        # Round trip through JSON: the field is plain data.
+        assert json.loads(json.dumps(records[0]))["artifacts"] == records[0][
+            "artifacts"
+        ]
