@@ -11,7 +11,11 @@ FORMAT_PATHS := src/repro/experiments/runner.py tests/experiments/test_runner.py
 # (see .github/workflows/ci.yml and docs/PERFORMANCE.md).
 PERF_SMOKE_FLAGS ?=
 
-.PHONY: test bench perf perf-smoke faults-smoke artifacts-smoke invariants lint typecheck experiments fabric fabric-merge ci
+# Generated run outputs (perf payloads, artifact stores, experiment
+# JSON) land here instead of the repo root; the directory is gitignored.
+OUT_DIR := benchmarks/out
+
+.PHONY: test bench perf perf-smoke faults-smoke dynamic-smoke artifacts-smoke invariants lint typecheck experiments fabric fabric-merge ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -19,7 +23,7 @@ test:  ## tier-1 test suite
 bench:  ## full benchmark/experiment suite (pytest-benchmark)
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-perf:  ## rewrite the BENCH_views.json perf baseline
+perf:  ## rewrite the benchmarks/BENCH_views.json perf baseline
 	$(PYTHON) benchmarks/run_perf_suite.py
 
 perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs baseline
@@ -28,9 +32,13 @@ perf-smoke:  ## quick perf gate: fail if view construction regresses >2x vs base
 faults-smoke:  ## zero-fault differential gate (see docs/FAULTS.md)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.faults.gate
 
+dynamic-smoke:  ## zero-churn differential gate (see docs/DYNAMIC.md)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.dynamic.gate
+
 artifacts-smoke:  ## cold/warm artifact-serving differential gate (see docs/ARTIFACTS.md)
+	@mkdir -p $(OUT_DIR)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.artifacts gate \
-		--store ARTIFACTS_store.jsonl --out .
+		--store $(OUT_DIR)/ARTIFACTS_store.jsonl --out $(OUT_DIR)
 
 invariants:  ## AST-based determinism/anonymity lint (see docs/LINT.md)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint --baseline LINT_BASELINE.json
@@ -52,15 +60,18 @@ typecheck:  ## mypy over the typed file set (see [tool.mypy] files in pyproject.
 	fi
 
 experiments:  ## run every experiment in parallel, writing the JSON artifact
+	@mkdir -p $(OUT_DIR)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments --all --jobs 4 \
-		--json RESULTS_experiments.json
+		--json $(OUT_DIR)/RESULTS_experiments.json
 
 fabric:  ## resumable fabric sweep: registry + all grids into the JSONL store
+	@mkdir -p $(OUT_DIR)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric run \
-		--all --grids --jobs 4 --store FABRIC_results.jsonl
+		--all --grids --jobs 4 --store $(OUT_DIR)/FABRIC_results.jsonl
 
 fabric-merge:  ## fold the fabric store into the canonical merged artifact
+	@mkdir -p $(OUT_DIR)
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric merge \
-		FABRIC_results.jsonl --out RESULTS_experiments.json
+		$(OUT_DIR)/FABRIC_results.jsonl --out $(OUT_DIR)/RESULTS_experiments.json
 
-ci: lint typecheck invariants test faults-smoke artifacts-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs
+ci: lint typecheck invariants test faults-smoke dynamic-smoke artifacts-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Run the view/refinement/quotient scaling benches and persist a baseline.
 
-Writes ``BENCH_views.json`` at the repository root: machine info, an
-n-sweep of timings for the three hot paths (view construction, color
-refinement, quotient construction) plus incremental-deepening and
-interning statistics.  Future PRs regress against the committed file:
+Writes ``benchmarks/BENCH_views.json``: machine info, an n-sweep of
+timings for the three hot paths (view construction, color refinement,
+quotient construction) plus incremental-deepening and interning
+statistics.  Future PRs regress against the committed file:
 
     python benchmarks/run_perf_suite.py            # measure + rewrite baseline
     python benchmarks/run_perf_suite.py --quick    # smaller sweep, no rewrite
@@ -55,6 +55,12 @@ from repro.graphs.coloring import (  # noqa: E402
 from repro.graphs.lifts import lift_graph  # noqa: E402
 from repro.factor.quotient import finite_view_graph, infinite_view_graph  # noqa: E402
 from repro.algorithms import TwoHopColoringAlgorithm  # noqa: E402
+from repro.dynamic import (  # noqa: E402
+    ChurnPlan,
+    ChurnSchedule,
+    DynamicGraph,
+    DynamicViewMaintainer,
+)
 from repro.faults import FaultPlan, execute_with_faults  # noqa: E402
 from repro.runtime.algorithm import AnonymousAlgorithm  # noqa: E402
 from repro.runtime.engine import collect_engine_metrics, execute  # noqa: E402
@@ -66,11 +72,11 @@ from repro.artifacts.specs import (  # noqa: E402
     views_spec,
 )
 from repro.artifacts.store import ArtifactStore  # noqa: E402
-from repro.views.local_views import all_views, view_builder  # noqa: E402
+from repro.views.local_views import ViewBuilder, all_views, view_builder  # noqa: E402
 from repro.views.refinement import color_refinement  # noqa: E402
 from repro.views.view_tree import clear_caches, intern_stats  # noqa: E402
 
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_views.json"
+DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "BENCH_views.json"
 GUARD_BENCH = "views_cycle"
 GUARD_N = 64
 DEFAULT_TOLERANCE = 2.0
@@ -113,6 +119,20 @@ CSR_SPEEDUP_FLOORS = {
 ARTIFACT_NS = [256, 1024]
 ARTIFACT_RATIO_FLOOR = 10.0
 ARTIFACT_VIEW_DEPTH = 8
+
+# Incremental view-maintenance gate: after one churn batch, advancing a
+# maintainer (blast-radius recompute only) must beat a from-scratch
+# ``ViewBuilder(new_graph).views(depth)`` rebuild by the floor at the
+# headline case (n=1024, 1% churn).  Both sides run back to back in one
+# invocation with shared intern tables — like the artifact ratios, the
+# speedup is hardware-independent and gated on the *current* run.  A
+# churn rate here means "expected deltas ~ rate * n", split across the
+# op families (the blast-radius fraction, and so the attainable
+# speedup, is governed by dirty-nodes x depth / n — see docs/DYNAMIC.md).
+DYNAMIC_NS = [256, 1024]
+DYNAMIC_CHURN_RATES = [0.01, 0.05]
+DYNAMIC_VIEW_DEPTH = 6
+DYNAMIC_SPEEDUP_FLOORS = {"dynamic_views_cycle/1024@1%": 5.0}
 
 
 def _colored(graph):
@@ -377,6 +397,74 @@ def run_artifact_benches(repeats: int) -> dict:
     return {"ratio_floor": ARTIFACT_RATIO_FLOOR, "rows": rows}
 
 
+def run_dynamic_benches(repeats: int) -> dict:
+    """Incremental view maintenance vs a from-scratch rebuild after one
+    churn batch on 2-hop colored cycles.
+
+    Setup (seeding the maintainer on the base snapshot, generating and
+    applying the batch) is excluded from both sides: the incremental
+    sample times ``maintainer.update(...)`` alone, the from-scratch
+    sample times a fresh ``ViewBuilder(new_graph).views(depth)``.  The
+    intern tables stay warm throughout, which is the honest comparison —
+    both sides hash-cons into the same pool, the rebuild just visits
+    every (node, depth) slot while the maintainer only walks the blast
+    radius.
+    """
+    rows = []
+    for n in DYNAMIC_NS:
+        base = _colored(with_uniform_input(cycle_graph(n)))
+        for rate in DYNAMIC_CHURN_RATES:
+            plan = ChurnPlan(
+                plan_seed=n,
+                insert_rate=rate / 4,
+                delete_rate=rate / 4,
+                relabel_rate=rate / 2,
+                relabel_values=(("A",), ("B",)),
+            )
+            dynamic = DynamicGraph(base)
+            batch = ChurnSchedule(plan).batch(1, base)
+            applied = dynamic.apply(batch)
+            incremental_samples = []
+            stats = None
+            for _ in range(repeats):
+                maintainer = DynamicViewMaintainer(base, DYNAMIC_VIEW_DEPTH)
+                start = time.perf_counter()
+                stats = maintainer.update(
+                    applied.graph, applied.relabeled, applied.touched
+                )
+                incremental_samples.append(time.perf_counter() - start)
+            scratch_samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                ViewBuilder(applied.graph).views(DYNAMIC_VIEW_DEPTH)
+                scratch_samples.append(time.perf_counter() - start)
+            incremental_best = min(incremental_samples)
+            scratch_best = min(scratch_samples)
+            rows.append(
+                {
+                    "bench": "dynamic_views_cycle",
+                    "n": n,
+                    "churn_rate": rate,
+                    "deltas": len(batch),
+                    "recomputed": stats.recomputed,
+                    "reused": stats.reused,
+                    "incremental": {
+                        "best_s": incremental_best,
+                        "median_s": statistics.median(incremental_samples),
+                        "repeats": repeats,
+                    },
+                    "from_scratch": {
+                        "best_s": scratch_best,
+                        "median_s": statistics.median(scratch_samples),
+                        "repeats": repeats,
+                    },
+                    "speedup": round(scratch_best / incremental_best, 2),
+                }
+            )
+    clear_caches()
+    return {"speedup_floors": DYNAMIC_SPEEDUP_FLOORS, "rows": rows}
+
+
 def run_suite(quick: bool, repeats: int) -> dict:
     view_ns = [8, 16, 32, 64] if quick else [8, 16, 32, 64, 96, 128]
     refine_ns = [16, 64, 128] if quick else [16, 64, 128, 256, 512]
@@ -478,8 +566,10 @@ def run_suite(quick: bool, repeats: int) -> dict:
         # embedded pre-CSR reference timings) + refinement_cycle /
         # refinement_torus / quotient_lift benches; 5 = ``artifacts``
         # section (cold-miss vs warm-hit artifact-service latency with a
-        # live warm/cold ratio floor).
-        "schema": 5,
+        # live warm/cold ratio floor); 6 = ``dynamic`` section
+        # (incremental view maintenance vs from-scratch rebuild under
+        # churn, with a live speedup floor).
+        "schema": 6,
         "suite": "views-perf",
         "quick": quick,
         "machine": {
@@ -496,6 +586,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "results": rows,
         "runtime": run_runtime_benches(repeats),
         "artifacts": run_artifact_benches(repeats),
+        "dynamic": run_dynamic_benches(repeats),
     }
 
 
@@ -664,6 +755,47 @@ def _check_artifact_ratios(current: dict) -> tuple:
     return failures, lines if rows else []
 
 
+def _dynamic_case(row: dict) -> str:
+    return f"{row['bench']}/{row['n']}@{row['churn_rate']:.0%}"
+
+
+def _check_dynamic_speedups(current: dict) -> tuple:
+    """Validate the *current* run's incremental-vs-rebuild speedups
+    against the floors.
+
+    Like the artifact ratios, both sides are measured back to back on
+    this machine within one invocation, so the check needs no baseline
+    and no machine match.  Returns ``(failures, summary_lines)``.
+    """
+    section = current.get("dynamic", {})
+    rows = section.get("rows", [])
+    floors = section.get("speedup_floors", DYNAMIC_SPEEDUP_FLOORS)
+    failures = []
+    lines = ["incremental view maintenance vs from-scratch rebuild (live):"]
+    for row in rows:
+        case = _dynamic_case(row)
+        floor = floors.get(case)
+        floor_note = f" (floor {floor:.1f})" if floor is not None else ""
+        lines.append(
+            f"  {case}: incremental {row['incremental']['best_s'] * 1e3:.4f}ms "
+            f"rebuild {row['from_scratch']['best_s'] * 1e3:.4f}ms "
+            f"-> {row['speedup']:.2f}x{floor_note}"
+        )
+        if floor is not None and row["speedup"] < floor:
+            failures.append(
+                f"  {case}: incremental maintenance beats a rebuild by only "
+                f"{row['speedup']:.2f}x (floor {floor:.1f}x)"
+            )
+    measured = {_dynamic_case(row) for row in rows}
+    for case in sorted(floors):
+        if rows and case not in measured:
+            failures.append(
+                f"  {case}: required by the speedup floors but missing from "
+                "the dynamic section"
+            )
+    return failures, lines if rows else []
+
+
 def check_against_baseline(
     current: dict,
     baseline_path: Path,
@@ -700,12 +832,15 @@ def check_against_baseline(
     table = _ratio_table(baseline, current)
     csr_failures, csr_lines = _check_csr_floors(baseline)
     artifact_failures, artifact_lines = _check_artifact_ratios(current)
+    dynamic_failures, dynamic_lines = _check_dynamic_speedups(current)
     _print_ratio_table(table, tolerance)
     for line in csr_lines:
         print(line)
     for line in artifact_lines:
         print(line)
-    _write_step_summary(table, csr_lines + artifact_lines, tolerance)
+    for line in dynamic_lines:
+        print(line)
+    _write_step_summary(table, csr_lines + artifact_lines + dynamic_lines, tolerance)
     print(
         f"perf-smoke guard: views cycle n={GUARD_N} cold "
         f"{new_time * 1e3:.3f}ms vs baseline {base_time * 1e3:.3f}ms "
@@ -722,6 +857,11 @@ def check_against_baseline(
     if artifact_failures:
         print("ARTIFACT CACHE RATIO FLOOR VIOLATION:")
         for line in artifact_failures:
+            print(line)
+        return 2
+    if dynamic_failures:
+        print("INCREMENTAL MAINTENANCE SPEEDUP FLOOR VIOLATION:")
+        for line in dynamic_failures:
             print(line)
         return 2
     drift = _runtime_counts_drift(baseline, current)
@@ -760,6 +900,13 @@ def _print_table(payload: dict) -> None:
         print(
             f"{row['bench']:<26}{row['n']:>5}{cold:11.4f}ms{warm:11.4f}ms"
             f"   ratio={row['ratio']:.2f}x"
+        )
+    for row in payload.get("dynamic", {}).get("rows", []):
+        scratch = row["from_scratch"]["best_s"] * 1e3
+        incremental = row["incremental"]["best_s"] * 1e3
+        print(
+            f"{_dynamic_case(row):<26}     {scratch:11.4f}ms{incremental:11.4f}ms"
+            f"   speedup={row['speedup']:.2f}x"
         )
 
 

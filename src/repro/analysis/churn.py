@@ -1,0 +1,90 @@
+"""Churn probing: classify executions run over a changing topology.
+
+The dynamic twin of :mod:`repro.analysis.resilience`: one churned
+execution maps to exactly one of the same four outcomes (``ok`` /
+``invalid`` / ``undecided`` / ``error``), except that validity is
+judged against the **final churned snapshot** — the guarantee under
+test is whether the output the network committed to still holds on the
+graph it ended up on, not the one it started from.
+
+:func:`first_break` is shared with the resilience module (outcomes are
+duck-compatible): the ``dynamic`` experiment family tabulates the
+smallest churn rate at which 2-hop-coloring validity first fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+from typing import Any
+
+from repro.dynamic.context import apply_churn
+from repro.dynamic.delta import ChurnPlan
+from repro.dynamic.graph import DynamicGraph
+from repro.graphs.labeled_graph import LabeledGraph, Node
+from repro.runtime.engine import execute
+
+Validator = Callable[[LabeledGraph, dict[Node, Any]], bool]
+
+
+@dataclass(frozen=True)
+class ChurnOutcome:
+    """The classified result of one churned execution."""
+
+    status: str  # "ok" | "invalid" | "undecided" | "error"
+    rounds: int
+    deltas_applied: int
+    delta_counts: tuple[tuple[str, int], ...]
+    error: str | None = None
+    outputs: "dict[Node, Any] | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def churn_probe(
+    algorithm: Any,
+    graph: LabeledGraph,
+    plan: ChurnPlan,
+    validator: Validator,
+    **execute_kwargs: Any,
+) -> ChurnOutcome:
+    """Run one execution under ``plan`` and classify it.
+
+    Catches *any* exception the run raises — under aggressive churn
+    algorithms legitimately trip internal invariants (a node's degree
+    changes under it mid-round), and that is data, not a harness
+    failure.  The outcome is deterministic: same algorithm, graph, plan
+    and keywords produce the same classification, byte for byte.
+    """
+    with apply_churn(plan) as churn:
+        try:
+            result = execute(algorithm, graph, **execute_kwargs)
+        except Exception as exc:
+            return ChurnOutcome(
+                status="error",
+                rounds=0,
+                deltas_applied=churn.deltas_applied,
+                delta_counts=(),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+    log = churn.last_execution_log or ()
+    final = DynamicGraph(graph).apply(log).graph if log else graph
+    counts: dict[str, int] = {}
+    for delta in log:
+        counts[delta.op] = counts.get(delta.op, 0) + 1
+    outputs = dict(result.outputs)
+    if not result.all_decided:
+        status = "undecided"
+    elif validator(final, outputs):
+        status = "ok"
+    else:
+        status = "invalid"
+    return ChurnOutcome(
+        status=status,
+        rounds=result.rounds,
+        deltas_applied=len(log),
+        delta_counts=tuple(sorted(counts.items())),
+        outputs=outputs,
+    )

@@ -131,10 +131,10 @@ def main(argv: "list[str] | None" = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     status = commands.add_parser("status", help="tier sizes and counters")
-    status.add_argument("--store", default="ARTIFACTS_store.jsonl")
+    status.add_argument("--store", default="benchmarks/out/ARTIFACTS_store.jsonl")
 
     gc = commands.add_parser("gc", help="drop records from other fingerprints")
-    gc.add_argument("--store", default="ARTIFACTS_store.jsonl")
+    gc.add_argument("--store", default="benchmarks/out/ARTIFACTS_store.jsonl")
     gc.add_argument(
         "--keep-fingerprint",
         nargs="?",
@@ -145,14 +145,14 @@ def main(argv: "list[str] | None" = None) -> int:
     gc.add_argument("--dry-run", action="store_true")
 
     verify = commands.add_parser("verify", help="re-encode a sample, compare digests")
-    verify.add_argument("--store", default="ARTIFACTS_store.jsonl")
+    verify.add_argument("--store", default="benchmarks/out/ARTIFACTS_store.jsonl")
     verify.add_argument(
         "--sample", type=int, default=0, help="check only N records (0 = all)"
     )
 
     gate = commands.add_parser("gate", help="artifacts-smoke differential gate")
-    gate.add_argument("--store", default="ARTIFACTS_store.jsonl")
-    gate.add_argument("--out", default=".")
+    gate.add_argument("--store", default="benchmarks/out/ARTIFACTS_store.jsonl")
+    gate.add_argument("--out", default="benchmarks/out")
 
     args = parser.parse_args(argv)
     if args.command == "status":

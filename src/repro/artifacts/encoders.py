@@ -126,13 +126,13 @@ def decode_view_tree(payload: bytes) -> ViewTree:
     return _trees_of(record["pool"])[record["root"]]
 
 
-def encode_views(views: "Mapping[Node, ViewTree]") -> bytes:
+def _encode_node_views(views: "Mapping[Node, ViewTree]", kind: str) -> bytes:
     nodes = sorted(views, key=_sort_key)
     pool, roots = _pool_of([views[v] for v in nodes])
     return canonical_bytes(
         {
             "format": PAYLOAD_FORMAT,
-            "kind": "views",
+            "kind": kind,
             "nodes": [_encode(v) for v in nodes],
             "pool": pool,
             "roots": roots,
@@ -140,13 +140,33 @@ def encode_views(views: "Mapping[Node, ViewTree]") -> bytes:
     )
 
 
-def decode_views(payload: bytes) -> "dict[Node, ViewTree]":
-    record = _record_of(payload, "views")
+def _decode_node_views(payload: bytes, kind: str) -> "dict[Node, ViewTree]":
+    record = _record_of(payload, kind)
     trees = _trees_of(record["pool"])
     return {
         _decode(node): trees[root]
         for node, root in zip(record["nodes"], record["roots"])
     }
+
+
+def encode_views(views: "Mapping[Node, ViewTree]") -> bytes:
+    return _encode_node_views(views, "views")
+
+
+def decode_views(payload: bytes) -> "dict[Node, ViewTree]":
+    return _decode_node_views(payload, "views")
+
+
+def encode_dynamic_views(views: "Mapping[Node, ViewTree]") -> bytes:
+    """Churn-replayed view maps share the per-node DAG-pool layout of
+    plain ``views`` payloads; only the kind tag differs (their specs —
+    and so their addresses — embed the delta log, see
+    :func:`repro.artifacts.specs.dynamic_views_spec`)."""
+    return _encode_node_views(views, "dynamic-views")
+
+
+def decode_dynamic_views(payload: bytes) -> "dict[Node, ViewTree]":
+    return _decode_node_views(payload, "dynamic-views")
 
 
 def encode_refinement(result: RefinementResult) -> bytes:
@@ -274,6 +294,9 @@ def artifact_kinds() -> "tuple[str, ...]":
 
 register_encoder(ArtifactEncoder("view-tree", encode_view_tree, decode_view_tree))
 register_encoder(ArtifactEncoder("views", encode_views, decode_views))
+register_encoder(
+    ArtifactEncoder("dynamic-views", encode_dynamic_views, decode_dynamic_views)
+)
 register_encoder(ArtifactEncoder("refinement", encode_refinement, decode_refinement))
 register_encoder(ArtifactEncoder("quotient", encode_quotient, decode_quotient))
 register_encoder(

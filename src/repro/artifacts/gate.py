@@ -1,8 +1,9 @@
 """The artifacts-smoke gate: cold/warm serving vs direct computation.
 
 CI's differential contract for the artifact layer, mirroring the fault
-subsystem's zero-fault gate: build the full 21-experiment view/quotient
-query mix, compute every payload *directly* (library calls, no store),
+subsystem's zero-fault gate: build the registry-wide view/quotient
+query mix (three queries per experiment id), compute every payload
+*directly* (library calls, no store),
 then serve the same mix through the asyncio service twice against one
 persistent store file —
 
@@ -83,6 +84,7 @@ def run_gate(store_path: "str | Path", out_dir: "str | Path" = ".") -> int:
     """Run the gate; returns a process exit code and prints the stable
     ``artifacts-smoke`` summary line CI greps."""
     store_file = Path(store_path)
+    store_file.parent.mkdir(parents=True, exist_ok=True)
     output = Path(out_dir)
     output.mkdir(parents=True, exist_ok=True)
     queries = build_query_mix()
@@ -141,10 +143,14 @@ def main(argv: "list[str] | None" = None) -> int:
         prog="python -m repro.artifacts gate", description=__doc__
     )
     parser.add_argument(
-        "--store", default="ARTIFACTS_store.jsonl", help="persistent store file"
+        "--store",
+        default="benchmarks/out/ARTIFACTS_store.jsonl",
+        help="persistent store file",
     )
     parser.add_argument(
-        "--out", default=".", help="directory for the three payload JSON files"
+        "--out",
+        default="benchmarks/out",
+        help="directory for the three payload JSON files",
     )
     args = parser.parse_args(argv)
     return run_gate(args.store, args.out)

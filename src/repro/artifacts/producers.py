@@ -60,6 +60,19 @@ def _compute_quotient(spec: "dict[str, Any]") -> Any:
     return infinite_view_graph(_graph_of(spec), with_views=spec["with_views"])
 
 
+def _compute_dynamic_views(spec: "dict[str, Any]") -> Any:
+    # Lazy import: the dynamic subsystem sits above the artifact layer.
+    from repro.dynamic.delta import Delta
+    from repro.dynamic.maintain import replay_views
+
+    try:
+        base = graph_from_dict(spec["base"])
+    except KeyError:
+        raise ArtifactError("spec for kind 'dynamic-views' lacks a 'base'") from None
+    deltas = [Delta.from_dict(payload) for payload in spec.get("deltas", ())]
+    return replay_views(base, deltas, spec["depth"])
+
+
 def _compute_derandomized_run(spec: "dict[str, Any]") -> Any:
     # Bundles live behind the experiment registry; import lazily so the
     # artifact layer does not pull the whole experiments package in for
@@ -89,6 +102,7 @@ _PRODUCERS: "dict[str, ArtifactProducer]" = {
     "views": ArtifactProducer("views", _compute_views),
     "view-tree": ArtifactProducer("view-tree", _compute_view_tree),
     "quotient": ArtifactProducer("quotient", _compute_quotient),
+    "dynamic-views": ArtifactProducer("dynamic-views", _compute_dynamic_views),
     "derandomized-run": ArtifactProducer(
         "derandomized-run", _compute_derandomized_run
     ),

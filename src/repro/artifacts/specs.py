@@ -18,6 +18,7 @@ from repro.graphs.labeled_graph import LabeledGraph, Node
 
 __all__ = [
     "derandomized_run_spec",
+    "dynamic_views_spec",
     "quotient_spec",
     "refinement_spec",
     "view_tree_spec",
@@ -53,6 +54,22 @@ def quotient_spec(graph: LabeledGraph, with_views: bool = False) -> "dict[str, A
         "kind": "quotient",
         "with_views": bool(with_views),
         "graph": graph_to_dict(graph),
+    }
+
+
+def dynamic_views_spec(
+    base: LabeledGraph, deltas: "Any", depth: int
+) -> "dict[str, Any]":
+    """The depth-``depth`` views after replaying a delta log over a base
+    graph (see :mod:`repro.dynamic`).  The log is key material: every
+    applied delta rotates the address, so incremental view state is
+    invalidated by churn exactly like a code change would invalidate a
+    stale store."""
+    return {
+        "kind": "dynamic-views",
+        "depth": int(depth),
+        "base": graph_to_dict(base),
+        "deltas": [delta.as_dict() for delta in deltas],
     }
 
 

@@ -1,0 +1,67 @@
+"""Dynamic networks: deterministic, replayable topology churn.
+
+The paper's model fixes the graph for the whole run; this package makes
+topology *change* first-class — so the repro can measure how the
+paper's objects (views, quotients, 2-hop colorings) degrade and recover
+under churn:
+
+* :class:`Delta` / :class:`ChurnPlan` / :class:`ChurnSchedule` —
+  atomic change values and declarative churn specs whose every decision
+  is SHA-256-derived from the plan seed and the decision's coordinates,
+  so a churned run is byte-replayable (:mod:`repro.dynamic.delta`);
+* :class:`DynamicGraph` / :class:`AppliedBatch` — the mutable overlay
+  applying delta batches over the immutable graph core, tracking dirty
+  node sets and the append-only delta log
+  (:mod:`repro.dynamic.graph`);
+* :class:`DynamicViewMaintainer` / :func:`differential_check` /
+  :func:`replay_views` — incremental view maintenance inside the blast
+  radius, with a from-scratch byte-identity oracle and the producer
+  behind the ``dynamic-views`` artifact kind
+  (:mod:`repro.dynamic.maintain`);
+* :func:`apply_churn` / :class:`TopologyHook` — the ambient context
+  that churns every ``execute()`` call between rounds
+  (:mod:`repro.dynamic.context`);
+* ``python -m repro.dynamic.gate`` — the zero-churn transparency gate
+  and replay-determinism check (``make dynamic-smoke``).
+
+See ``docs/DYNAMIC.md`` for the delta model, the blast-radius rule and
+the determinism contract.
+"""
+
+from repro.dynamic.context import ActiveChurn, TopologyHook, apply_churn, current
+from repro.dynamic.delta import (
+    ChurnPlan,
+    ChurnSchedule,
+    Delta,
+    add_edge,
+    relabel,
+    remove_edge,
+    reorder_ports,
+)
+from repro.dynamic.graph import AppliedBatch, DynamicGraph
+from repro.dynamic.maintain import (
+    DynamicViewMaintainer,
+    UpdateStats,
+    differential_check,
+    replay_views,
+)
+
+__all__ = [
+    "ActiveChurn",
+    "AppliedBatch",
+    "ChurnPlan",
+    "ChurnSchedule",
+    "Delta",
+    "DynamicGraph",
+    "DynamicViewMaintainer",
+    "TopologyHook",
+    "UpdateStats",
+    "add_edge",
+    "apply_churn",
+    "current",
+    "differential_check",
+    "relabel",
+    "remove_edge",
+    "reorder_ports",
+    "replay_views",
+]

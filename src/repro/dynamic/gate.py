@@ -1,0 +1,94 @@
+"""Zero-churn transparency gate: ``python -m repro.dynamic.gate``.
+
+The dynamic subsystem's core transparency contract, enforced as an
+executable check (wired into CI as ``make dynamic-smoke``):
+
+1. **Zero-churn identity** — running the *full* experiment registry
+   under an ambient empty :class:`~repro.dynamic.delta.ChurnPlan`
+   (every execution carrying a live
+   :class:`~repro.dynamic.context.TopologyHook`) produces canonical
+   results byte-identical to the bare engine, and applies exactly zero
+   deltas.
+2. **Churned replay determinism** — the ``dynamic`` experiment family,
+   whose experiments run fixed nonzero plans, produces canonical
+   results byte-identical across consecutive runs and across
+   ``jobs=1`` vs ``jobs=4``.
+
+Exits 0 if both hold, 1 with a diff summary otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.dynamic.context import apply_churn
+from repro.dynamic.delta import ChurnPlan
+from repro.experiments.base import all_experiment_ids, get_spec
+from repro.experiments.runner import (
+    canonical_results,
+    results_payload,
+    run_experiments,
+)
+
+
+def _canonical_bytes(ids: list[str], *, jobs: int = 1) -> str:
+    report = run_experiments(ids, jobs=jobs)
+    return json.dumps(canonical_results(results_payload(report)), sort_keys=True)
+
+
+def _first_divergence(a: str, b: str) -> str:
+    """A short context window around the first differing byte."""
+    for i, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            lo = max(0, i - 60)
+            return f"at byte {i}: ...{a[lo:i + 60]!r} vs ...{b[lo:i + 60]!r}"
+    return f"lengths differ: {len(a)} vs {len(b)}"
+
+
+def main() -> int:
+    failures = []
+    ids = all_experiment_ids()
+
+    print(f"[gate] zero-churn identity over {len(ids)} experiments ...")
+    bare = _canonical_bytes(ids)
+    with apply_churn(ChurnPlan()) as churn:
+        hooked = _canonical_bytes(ids)
+    if bare != hooked:
+        failures.append(
+            "zero-churn identity: canonical results diverge under an empty "
+            f"ChurnPlan ({_first_divergence(bare, hooked)})"
+        )
+    if churn.deltas_applied != 0:
+        failures.append(
+            f"zero-churn identity: empty plan applied {churn.deltas_applied} "
+            "deltas"
+        )
+
+    family = [eid for eid in ids if get_spec(eid).family == "dynamic"]
+    print(f"[gate] churned replay determinism over {family} ...")
+    serial_a = _canonical_bytes(family, jobs=1)
+    serial_b = _canonical_bytes(family, jobs=1)
+    fanned = _canonical_bytes(family, jobs=4)
+    if serial_a != serial_b:
+        failures.append(
+            "churned replay: consecutive serial runs diverge "
+            f"({_first_divergence(serial_a, serial_b)})"
+        )
+    if serial_a != fanned:
+        failures.append(
+            "churned replay: jobs=1 vs jobs=4 diverge "
+            f"({_first_divergence(serial_a, fanned)})"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"[gate] FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("[gate] ok: zero-churn runs are byte-identical to the bare engine;")
+    print("[gate] ok: nonzero churn plans replay byte-identically (serial and fanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""`DynamicGraph`: a mutable overlay over the immutable graph core.
+
+:class:`~repro.graphs.labeled_graph.LabeledGraph` is deliberately
+immutable — views, quotients and simulations share instances freely.  A
+:class:`DynamicGraph` makes topology churn possible *without* giving
+that up: it holds the current immutable snapshot, applies
+:class:`~repro.dynamic.delta.Delta` batches by constructing the next
+snapshot, and tracks two things no snapshot can carry:
+
+* the **dirty node sets** of the last batch (``relabeled`` — composed
+  label changed; ``touched`` — incident edge set changed), which drive
+  the blast-radius rule of the incremental view maintainer;
+* the append-only **delta log** since the base graph, which keys
+  artifact-layer invalidation (the ``dynamic-views`` spec embeds the
+  base graph plus the log, so any churn rotates the content address).
+
+The node set is invariant: deltas rewire, relabel and renumber, but a
+node is never created or destroyed mid-run — the execution engine keys
+states, tapes and outputs by node, and the CSR index order must stay
+aligned across snapshots.  Deletions that would disconnect the graph
+are rejected (the model's graphs are connected); churn schedules skip
+bridges for the same reason.
+
+Port discipline under rewiring is deterministic: an inserted edge takes
+the next free port at both endpoints (appended after the existing
+ports), and a deleted edge compacts the survivors in order — so two
+replays of one delta log produce byte-identical port numberings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.dynamic.delta import Delta
+from repro.exceptions import DynamicError
+from repro.graphs.labeled_graph import LabeledGraph, Node
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """What one ``apply`` call did: the new snapshot plus its dirty sets."""
+
+    graph: LabeledGraph
+    deltas: tuple[Delta, ...]
+    relabeled: tuple[Node, ...]
+    touched: tuple[Node, ...]
+
+    @property
+    def dirty(self) -> tuple[Node, ...]:
+        """All nodes whose mark or incident edge set changed, in the
+        graph's node order."""
+        union = set(self.relabeled) | set(self.touched)
+        return tuple(v for v in self.graph.nodes if v in union)
+
+
+class DynamicGraph:
+    """The mutable churn overlay: current snapshot + dirty sets + log."""
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self._base = graph
+        self._graph = graph
+        self._log: list[Delta] = []
+        self._maintainers: list[Any] = []
+
+    @property
+    def base(self) -> LabeledGraph:
+        """The graph the delta log starts from."""
+        return self._base
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The current immutable snapshot."""
+        return self._graph
+
+    @property
+    def log(self) -> tuple[Delta, ...]:
+        """Every delta applied since the base graph, in order."""
+        return tuple(self._log)
+
+    def maintainer(self, depth: int) -> Any:
+        """An attached incremental view maintainer at the given depth:
+        it is seeded from the current snapshot and updated automatically
+        by every later :meth:`apply`."""
+        from repro.dynamic.maintain import DynamicViewMaintainer
+
+        maintainer = DynamicViewMaintainer(self._graph, depth)
+        self._maintainers.append(maintainer)
+        return maintainer
+
+    def apply(self, deltas: Iterable[Delta]) -> AppliedBatch:
+        """Apply one delta batch, producing (and switching to) the next
+        snapshot.  The batch is atomic: any invalid delta raises
+        :class:`~repro.exceptions.DynamicError` and leaves the overlay
+        on the old snapshot."""
+        batch = tuple(deltas)
+        graph = self._graph
+        nodes = graph.nodes
+        adjacency: dict[Node, list[Node]] = {v: list(graph.ports(v)) for v in nodes}
+        layers: dict[str, dict[Node, Any]] = {
+            name: graph.layer(name) for name in graph.layer_names
+        }
+        touched: set[Node] = set()
+        relabeled: set[Node] = set()
+
+        for delta in batch:
+            if delta.op == "add-edge":
+                u, v = delta.u, delta.v
+                self._require_node(u)
+                self._require_node(v)
+                if v in adjacency[u]:
+                    raise DynamicError(
+                        f"add-edge ({u!r}, {v!r}): the edge already exists"
+                    )
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+                touched.add(u)
+                touched.add(v)
+            elif delta.op == "remove-edge":
+                u, v = delta.u, delta.v
+                self._require_node(u)
+                self._require_node(v)
+                if v not in adjacency[u]:
+                    raise DynamicError(
+                        f"remove-edge ({u!r}, {v!r}): no such edge"
+                    )
+                adjacency[u].remove(v)
+                adjacency[v].remove(u)
+                touched.add(u)
+                touched.add(v)
+            elif delta.op == "relabel":
+                node, layer = delta.node, delta.layer
+                self._require_node(node)
+                if layer not in layers:
+                    raise DynamicError(
+                        f"relabel {node!r}: no layer named {layer!r}; "
+                        f"available: {tuple(layers)!r}"
+                    )
+                if layers[layer][node] != delta.value:
+                    layers[layer][node] = delta.value
+                    relabeled.add(node)
+            else:  # reorder-ports (validated op set in Delta.__post_init__)
+                node = delta.node
+                self._require_node(node)
+                order = list(delta.order or ())
+                if sorted(order, key=repr) != sorted(adjacency[node], key=repr):
+                    raise DynamicError(
+                        f"reorder-ports {node!r}: order {tuple(order)!r} is not "
+                        f"a permutation of the current neighbors"
+                    )
+                adjacency[node] = order
+
+        if not _connected(nodes, adjacency):
+            raise DynamicError(
+                f"delta batch of {len(batch)} would disconnect the graph; "
+                "the model's graphs are connected (schedules skip bridges)"
+            )
+
+        edges = []
+        seen: set[frozenset] = set()
+        for v in nodes:
+            for u in adjacency[v]:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    edges.append((v, u))
+        new_graph = LabeledGraph(
+            edges=edges,
+            nodes=nodes,
+            layers=layers,
+            ports=adjacency,
+            check_connected=False,
+        )
+        self._graph = new_graph
+        self._log.extend(batch)
+        applied = AppliedBatch(
+            graph=new_graph,
+            deltas=batch,
+            relabeled=tuple(v for v in nodes if v in relabeled),
+            touched=tuple(v for v in nodes if v in touched),
+        )
+        for maintainer in self._maintainers:
+            maintainer.update(
+                new_graph, relabeled=applied.relabeled, touched=applied.touched
+            )
+        return applied
+
+    def _require_node(self, v: Node) -> None:
+        if not self._graph.has_node(v):
+            raise DynamicError(
+                f"unknown node {v!r}: deltas may not create or destroy nodes"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self._graph.num_nodes}, m={self._graph.num_edges}, "
+            f"log={len(self._log)})"
+        )
+
+
+def _connected(nodes: Sequence[Node], adjacency: dict[Node, list[Node]]) -> bool:
+    start = nodes[0]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(nodes)

@@ -53,6 +53,13 @@ class FaultInjectionError(ReproError):
     not know how to wrap)."""
 
 
+class DynamicError(ReproError):
+    """The dynamic-network subsystem was misused: a malformed delta, a
+    churn rate outside [0, 1], a delta batch that would disconnect the
+    graph or change the node set, or an incremental view state that
+    diverged from its from-scratch oracle."""
+
+
 class ProblemError(ReproError):
     """A distributed problem was given an invalid instance or output."""
 

@@ -28,6 +28,7 @@ from repro.experiments.base import (
 from repro.experiments import (  # noqa: F401  (registration)
     boundaries,
     costs,
+    dynamic,
     figures,
     lemmas,
     resilience,

@@ -142,13 +142,16 @@ class NoUnorderedIterationIntoCanonicalArtifacts(Rule):
     # The layers that produce canonical artifacts: view encodings,
     # factor/quotient graphs, graph encodings/canonical forms (the
     # src/repro/graphs/ prefix deliberately covers the CSR array kernels
-    # in graphs/csr.py — their dense numbering is canonical), and the
-    # analysis tables persisted into experiment JSON.
+    # in graphs/csr.py — their dense numbering is canonical), the
+    # analysis tables persisted into experiment JSON, and the dynamic
+    # layer (delta logs and churn batches are canonical, replayable
+    # values; maintained view maps feed byte-compared encodings).
     include = (
         "src/repro/views/",
         "src/repro/factor/",
         "src/repro/graphs/",
         "src/repro/analysis/",
+        "src/repro/dynamic/",
     )
 
     def check(self, module) -> Iterator[Finding]:

@@ -68,7 +68,9 @@ class EngineBoundary(Rule):
     )
     include = ("src/", "benchmarks/", "examples/")
     # The runtime owns the kernel; the fault layer wraps delivery and
-    # tapes by design (docs/FAULTS.md).
+    # tapes by design (docs/FAULTS.md).  The dynamic layer deliberately
+    # stays IN scope: its hook swaps graphs through the public
+    # engine.swap_graph() and never touches rounds or delivery itself.
     exclude = (
         "src/repro/runtime/",
         "src/repro/faults/",

@@ -44,6 +44,12 @@ class NoWallClockOrFloatsInEncoders(Rule):
         "src/repro/artifacts/encoders.py",
         "src/repro/artifacts/keys.py",
         "src/repro/artifacts/specs.py",
+        # The dynamic overlay rebuilds canonical snapshots (ports,
+        # layers) that downstream encoders byte-compare.  The plan /
+        # schedule / maintainer modules stay out for the same reason
+        # faults/plan.py does: churn rates are floats by design and
+        # schedule decisions use true division on hash fractions.
+        "src/repro/dynamic/graph.py",
     )
 
     def check(self, module) -> Iterator[Finding]:

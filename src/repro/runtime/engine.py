@@ -423,6 +423,27 @@ class ExecutionEngine:
     def add_hook(self, hook: RoundHook) -> None:
         self._hooks.append(hook)
 
+    def swap_graph(self, new_graph: LabeledGraph) -> None:
+        """Replace the topology between rounds (dynamic networks).
+
+        The node set must be invariant — states, tapes and outputs are
+        keyed by node and survive the swap untouched; only delivery (and
+        the per-round payload accounting) sees the new edges, starting
+        with the next ``step()``.  Called by the topology hooks of
+        :mod:`repro.dynamic`; the kernel itself knows nothing about
+        churn semantics.
+        """
+        if new_graph.nodes != self._graph.nodes:
+            raise RuntimeModelError(
+                "swap_graph requires an invariant node set: "
+                f"{self._graph.num_nodes} nodes became {new_graph.num_nodes} "
+                "or the node identities changed"
+            )
+        self._graph = new_graph
+        self._payloads_per_round = sum(
+            new_graph.degree(v) for v in new_graph.nodes
+        )
+
     def can_fund_round(self) -> bool:
         """Whether every node's tape can pay for one more round."""
         need = self._algorithm.bits_per_round
@@ -535,6 +556,22 @@ def register_injection_provider(provider: Any) -> None:
     _INJECTION_PROVIDER = provider
 
 
+# Ambient topology churn (see repro.dynamic.context), same shape as the
+# fault provider: repro.dynamic registers a zero-argument provider on
+# import, and execute() asks it for the active churn context, if any,
+# letting that context append its per-execution TopologyHook.  Faults
+# and churn compose: fault decisions key on (round, receiver, sender)
+# and never on the edge set, so the two wrappers are orthogonal.
+_TOPOLOGY_PROVIDER: Any | None = None
+
+
+def register_topology_provider(provider: Any) -> None:
+    """Install the callable yielding the active churn context (or
+    ``None``).  Called once by :mod:`repro.dynamic.context` on import."""
+    global _TOPOLOGY_PROVIDER
+    _TOPOLOGY_PROVIDER = provider
+
+
 def _infer_delivery(algorithm: Any) -> DeliveryDiscipline:
     from repro.runtime.port_model import PortAwareAlgorithm
 
@@ -635,6 +672,10 @@ def execute(
         injection = _INJECTION_PROVIDER()
         if injection is not None:
             delivery, tapes, hooks = injection.wrap(delivery, tapes, graph, hooks)
+    if _TOPOLOGY_PROVIDER is not None:
+        churn = _TOPOLOGY_PROVIDER()
+        if churn is not None:
+            hooks = [*hooks, churn.hook_for(graph)]
 
     engine = ExecutionEngine(
         algorithm,

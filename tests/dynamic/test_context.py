@@ -1,0 +1,105 @@
+"""Tests for ambient churn (``repro.dynamic.context``): the topology
+provider wiring, zero-churn transparency, replay determinism, and
+composition with the fault layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import ChurnPlan, TopologyHook, apply_churn, current
+from repro.dynamic.delta import ChurnSchedule
+from repro.faults import FaultPlan, inject_faults
+from repro.graphs.builders import cycle_graph, with_uniform_input
+from repro.runtime.algorithm import FunctionAlgorithm
+from repro.runtime.engine import execute
+
+
+def tally(stop_at: int):
+    """Decides after ``stop_at`` rounds with the per-round inbox sizes."""
+    return FunctionAlgorithm(
+        init=lambda label, deg: ((), 0),
+        msg=lambda s: s[1],
+        step=lambda s, received, b: (s[0] + (len(received),), s[1] + 1),
+        out=lambda s: s[0] if s[1] >= stop_at else None,
+        bits_per_round=0,
+        name="tally",
+    )
+
+
+GRAPH = with_uniform_input(cycle_graph(8))
+CHURNY = ChurnPlan(plan_seed=5, insert_rate=0.3, delete_rate=0.3)
+
+
+class TestAmbientContext:
+    def test_no_context_by_default(self):
+        assert current() is None
+
+    def test_context_is_active_inside_the_block(self):
+        with apply_churn(ChurnPlan()) as churn:
+            assert current() is churn
+        assert current() is None
+
+    def test_contexts_nest_innermost_wins(self):
+        with apply_churn(ChurnPlan(plan_seed=1)) as outer:
+            with apply_churn(ChurnPlan(plan_seed=2)) as inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_context_is_released_on_error(self):
+        with pytest.raises(RuntimeError):
+            with apply_churn(ChurnPlan()):
+                raise RuntimeError("boom")
+        assert current() is None
+
+    def test_empty_plan_is_transparent_but_still_hooks(self):
+        bare = execute(tally(4), GRAPH, max_rounds=4)
+        with apply_churn(ChurnPlan()) as churn:
+            hooked = execute(tally(4), GRAPH, max_rounds=4)
+        assert bare.outputs == hooked.outputs
+        assert churn.execution_logs == [()]  # the hook did ride along
+        assert churn.deltas_applied == 0
+
+    def test_churn_changes_delivery_and_replays_identically(self):
+        bare = execute(tally(5), GRAPH, max_rounds=5)
+        with apply_churn(CHURNY) as churn:
+            first = execute(tally(5), GRAPH, max_rounds=5)
+            second = execute(tally(5), GRAPH, max_rounds=5)
+        assert churn.deltas_applied > 0
+        assert len(churn.execution_logs) == 2
+        assert churn.execution_logs[0] == churn.execution_logs[1]
+        assert churn.last_execution_log == churn.execution_logs[-1]
+        assert first.outputs == second.outputs
+        assert first.outputs != bare.outputs
+
+    def test_composes_with_fault_injection(self):
+        with inject_faults(FaultPlan(plan_seed=1, drop_rate=0.5)) as injection:
+            with apply_churn(CHURNY) as churn:
+                result = execute(tally(5), GRAPH, max_rounds=5)
+        assert churn.deltas_applied > 0
+        assert result.metrics.faults_injected > 0
+        assert result.metrics.faults_injected == len(injection.trace)
+        assert current() is None
+
+
+class TestTopologyHook:
+    def test_hook_swaps_the_engine_graph_between_rounds(self):
+        hook = TopologyHook(ChurnSchedule(CHURNY))
+        result = execute(tally(5), GRAPH, max_rounds=5, hooks=[hook])
+        assert hook.dynamic is not None
+        assert len(hook.log) > 0
+        assert hook.dynamic.base is GRAPH
+        assert hook.dynamic.graph.nodes == GRAPH.nodes
+
+    def test_states_and_outputs_survive_the_swap(self):
+        hook = TopologyHook(ChurnSchedule(CHURNY))
+        result = execute(tally(5), GRAPH, max_rounds=5, hooks=[hook])
+        assert result.all_decided
+        # Round 1 predates any churn: every ledger starts with degree 2.
+        assert all(log[0] == 2 for log in result.outputs.values())
+
+    def test_empty_schedule_hook_is_inert(self):
+        hook = TopologyHook(ChurnSchedule(ChurnPlan()))
+        bare = execute(tally(3), GRAPH, max_rounds=3)
+        hooked = execute(tally(3), GRAPH, max_rounds=3, hooks=[hook])
+        assert hooked.outputs == bare.outputs
+        assert hook.log == ()

@@ -1,0 +1,32 @@
+"""Tests for the zero-churn transparency gate (``repro.dynamic.gate``).
+
+The full gate (entire registry, twice, plus the dynamic family three
+times) runs in CI via ``make dynamic-smoke``; here it is exercised on a
+representative subset so the tier-1 suite stays fast."""
+
+from __future__ import annotations
+
+from repro.dynamic import gate
+
+
+class TestGateMechanics:
+    def test_first_divergence_reports_the_byte(self):
+        message = gate._first_divergence("abcdef", "abcXef")
+        assert message.startswith("at byte 3")
+
+    def test_canonical_bytes_is_deterministic(self):
+        ids = ["figure1", "lemma4"]
+        assert gate._canonical_bytes(ids) == gate._canonical_bytes(ids)
+
+
+class TestGateEndToEnd:
+    def test_gate_passes_on_a_representative_subset(self, monkeypatch, capsys):
+        # One pure view/factor experiment, one engine-heavy experiment,
+        # and one fixed-nonzero-plan dynamic experiment.
+        subset = ["figure1", "ports", "churn-engine"]
+        monkeypatch.setattr(gate, "all_experiment_ids", lambda: subset)
+        rc = gate.main()
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "zero-churn runs are byte-identical" in out
+        assert "churn-engine" in out

@@ -1,0 +1,125 @@
+"""Tests for the mutable churn overlay (``repro.dynamic.graph``):
+apply semantics, the deterministic port discipline, dirty-set
+reporting, atomic validation, and the append-only delta log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import (
+    DynamicGraph,
+    add_edge,
+    relabel,
+    remove_edge,
+    reorder_ports,
+)
+from repro.exceptions import DynamicError
+from repro.graphs.builders import cycle_graph, with_uniform_input
+
+GRAPH = with_uniform_input(cycle_graph(6))
+
+
+class TestApply:
+    def test_add_edge_appends_at_the_next_free_port(self):
+        dynamic = DynamicGraph(GRAPH)
+        before = GRAPH.ports(0)
+        applied = dynamic.apply([add_edge(0, 3)])
+        assert applied.graph.ports(0) == (*before, 3)
+        assert applied.graph.ports(3) == (*GRAPH.ports(3), 0)
+        assert applied.graph.has_edge(0, 3)
+
+    def test_remove_edge_compacts_surviving_ports(self):
+        dynamic = DynamicGraph(GRAPH)
+        dynamic.apply([add_edge(0, 3)])
+        applied = dynamic.apply([remove_edge(0, 1)])
+        survivors = tuple(u for u in (*GRAPH.ports(0), 3) if u != 1)
+        assert applied.graph.ports(0) == survivors
+
+    def test_relabel_changes_one_layer_value(self):
+        dynamic = DynamicGraph(GRAPH)
+        applied = dynamic.apply([relabel(2, "input", ("X",))])
+        assert applied.graph.label_of(2, "input") == ("X",)
+        assert applied.graph.label_of(1, "input") == GRAPH.label_of(1, "input")
+
+    def test_noop_relabel_is_not_dirty(self):
+        dynamic = DynamicGraph(GRAPH)
+        applied = dynamic.apply([relabel(2, "input", GRAPH.label_of(2, "input"))])
+        assert applied.relabeled == ()
+        assert applied.dirty == ()
+
+    def test_reorder_ports_permutes_without_dirtying(self):
+        dynamic = DynamicGraph(GRAPH)
+        new_order = tuple(reversed(GRAPH.ports(4)))
+        applied = dynamic.apply([reorder_ports(4, new_order)])
+        assert applied.graph.ports(4) == new_order
+        assert applied.dirty == ()
+
+    def test_dirty_union_in_node_order(self):
+        dynamic = DynamicGraph(GRAPH)
+        applied = dynamic.apply([relabel(5, "input", ("X",)), add_edge(0, 2)])
+        assert applied.relabeled == (5,)
+        assert applied.touched == (0, 2)
+        assert applied.dirty == (0, 2, 5)
+
+    def test_log_accumulates_across_batches(self):
+        dynamic = DynamicGraph(GRAPH)
+        dynamic.apply([add_edge(0, 2)])
+        dynamic.apply([remove_edge(0, 2)])
+        assert dynamic.log == (add_edge(0, 2), remove_edge(0, 2))
+        assert dynamic.base is GRAPH
+
+    def test_replaying_one_log_is_byte_deterministic(self):
+        batches = ([add_edge(0, 3), relabel(1, "input", ("Y",))], [remove_edge(1, 2)])
+        snapshots = []
+        for _ in range(2):
+            dynamic = DynamicGraph(GRAPH)
+            for batch in batches:
+                dynamic.apply(batch)
+            snapshots.append(dynamic.graph)
+        a, b = snapshots
+        assert list(a.edges()) == list(b.edges())
+        assert all(a.ports(v) == b.ports(v) for v in a.nodes)
+        assert all(a.label(v) == b.label(v) for v in a.nodes)
+
+
+class TestValidation:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(DynamicError, match="create or destroy"):
+            DynamicGraph(GRAPH).apply([add_edge(0, 99)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(DynamicError, match="already exists"):
+            DynamicGraph(GRAPH).apply([add_edge(0, 1)])
+
+    def test_missing_edge_rejected(self):
+        with pytest.raises(DynamicError, match="no such edge"):
+            DynamicGraph(GRAPH).apply([remove_edge(0, 3)])
+
+    def test_disconnecting_batch_rejected_atomically(self):
+        dynamic = DynamicGraph(GRAPH)
+        with pytest.raises(DynamicError, match="disconnect"):
+            dynamic.apply([remove_edge(0, 1), remove_edge(0, 5)])
+        # Atomic: the overlay still serves the old snapshot, log untouched.
+        assert dynamic.graph is GRAPH
+        assert dynamic.log == ()
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(DynamicError, match="no layer"):
+            DynamicGraph(GRAPH).apply([relabel(0, "color", 1)])
+
+    def test_bad_port_permutation_rejected(self):
+        with pytest.raises(DynamicError, match="permutation"):
+            DynamicGraph(GRAPH).apply([reorder_ports(0, (1, 3))])
+
+
+class TestMaintainerAttachment:
+    def test_attached_maintainer_tracks_every_batch(self):
+        dynamic = DynamicGraph(GRAPH)
+        maintainer = dynamic.maintainer(3)
+        assert maintainer.updates == 0
+        dynamic.apply([add_edge(0, 3)])
+        assert maintainer.updates == 1
+        assert maintainer.graph is dynamic.graph
+        dynamic.apply([remove_edge(0, 3)])
+        assert maintainer.updates == 2
+        assert maintainer.graph is dynamic.graph

@@ -1,0 +1,181 @@
+"""The incremental-maintenance property battery.
+
+The acceptance bar for ``repro.dynamic``: across random churn traces
+over cycles, hypercubes and random-regular families x seeds, the
+incrementally maintained views must be byte-identical (and, thanks to
+interning, object-identical) to a from-scratch rebuild after **every**
+batch — including delete-then-reinsert traces that must land back on
+the original interned trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts.encoders import encode_quotient, encode_views
+from repro.dynamic import (
+    ChurnPlan,
+    ChurnSchedule,
+    DynamicGraph,
+    DynamicViewMaintainer,
+    add_edge,
+    differential_check,
+    relabel,
+    remove_edge,
+    reorder_ports,
+)
+from repro.exceptions import DynamicError, FactorError
+from repro.factor.quotient import infinite_view_graph
+from repro.graphs.builders import (
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    with_uniform_input,
+)
+from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.views.local_views import all_views
+
+FAMILIES = [
+    ("cycle-12", with_uniform_input(cycle_graph(12))),
+    ("cycle-17", with_uniform_input(cycle_graph(17))),
+    ("hypercube-3", with_uniform_input(hypercube_graph(3))),
+    ("hypercube-4", with_uniform_input(hypercube_graph(4))),
+    ("random-regular-10-3", with_uniform_input(random_regular_graph(10, 3, seed=2))),
+    ("random-regular-14-4", with_uniform_input(random_regular_graph(14, 4, seed=9))),
+]
+
+DEPTH = 5
+TRACE_ROUNDS = 4
+
+
+class TestChurnTraceBattery:
+    @pytest.mark.parametrize("name,graph", FAMILIES, ids=[n for n, _ in FAMILIES])
+    @pytest.mark.parametrize("plan_seed", [0, 1, 2])
+    def test_incremental_matches_from_scratch_after_every_batch(
+        self, name, graph, plan_seed
+    ):
+        plan = ChurnPlan(
+            plan_seed=plan_seed,
+            insert_rate=0.15,
+            delete_rate=0.15,
+            relabel_rate=0.1,
+            relabel_values=(("A",), ("B",), ("C",)),
+        )
+        dynamic = DynamicGraph(graph)
+        maintainer = dynamic.maintainer(DEPTH)
+        schedule = ChurnSchedule(plan)
+        churned = 0
+        for round_number in range(1, TRACE_ROUNDS + 1):
+            batch = schedule.batch(round_number, dynamic.graph)
+            if batch:
+                dynamic.apply(batch)
+                churned += len(batch)
+            differential_check(maintainer)  # raises on any divergence
+        assert churned > 0, "trace exercised no churn"
+        # The maintained map is also byte-identical to the public
+        # all_views entry point on the final snapshot.
+        assert encode_views(maintainer.views()) == encode_views(
+            all_views(dynamic.graph, DEPTH)
+        )
+        # And the quotient pipeline agrees: on the churned snapshot it
+        # must behave identically whether the intern pool was warmed
+        # incrementally (the live graph) or not at all (a round-tripped
+        # copy sharing no cached state) — same bytes, or the same
+        # refusal (churn generally breaks 2-hop coloredness, in which
+        # case the quotient is undefined on both).
+        severed = graph_from_dict(graph_to_dict(dynamic.graph))
+        try:
+            live = encode_quotient(infinite_view_graph(dynamic.graph, with_views=True))
+        except FactorError:
+            with pytest.raises(FactorError):
+                infinite_view_graph(severed, with_views=True)
+        else:
+            assert live == encode_quotient(
+                infinite_view_graph(severed, with_views=True)
+            )
+
+    @pytest.mark.parametrize("name,graph", FAMILIES[:3], ids=[n for n, _ in FAMILIES[:3]])
+    def test_delete_then_reinsert_returns_to_original_interned_trees(
+        self, name, graph
+    ):
+        original = {
+            depth: dict(DynamicViewMaintainer(graph, DEPTH).views(depth))
+            for depth in range(1, DEPTH + 1)
+        }
+        dynamic = DynamicGraph(graph)
+        maintainer = dynamic.maintainer(DEPTH)
+        u, v = next(iter(graph.edges()))
+        extra = next(
+            (a, b)
+            for i, a in enumerate(graph.nodes)
+            for b in graph.nodes[i + 1 :]
+            if not graph.has_edge(a, b)
+        )
+        dynamic.apply([add_edge(*extra)])
+        dynamic.apply([remove_edge(u, v), relabel(u, "input", ("tmp",))])
+        differential_check(maintainer)
+        # Undo everything, in a different batch order than it was done.
+        dynamic.apply([relabel(u, "input", graph.label_of(u, "input")), add_edge(u, v)])
+        dynamic.apply([remove_edge(*extra)])
+        differential_check(maintainer)
+        for depth in range(1, DEPTH + 1):
+            now = maintainer.views(depth)
+            assert all(now[w] is original[depth][w] for w in graph.nodes)
+
+    def test_port_reorder_has_an_empty_blast_radius(self):
+        graph = with_uniform_input(hypercube_graph(3))
+        dynamic = DynamicGraph(graph)
+        maintainer = dynamic.maintainer(DEPTH)
+        node = graph.nodes[0]
+        dynamic.apply([reorder_ports(node, tuple(reversed(graph.ports(node))))])
+        assert maintainer.last_stats.recomputed == 0
+        assert maintainer.last_stats.changed == 0
+        differential_check(maintainer)
+
+
+class TestUpdateAccounting:
+    GRAPH = with_uniform_input(cycle_graph(16))
+
+    def test_slots_conserved_and_reuse_observed(self):
+        dynamic = DynamicGraph(self.GRAPH)
+        maintainer = dynamic.maintainer(DEPTH)
+        dynamic.apply([relabel(0, "input", ("X",))])
+        stats = maintainer.last_stats
+        n = self.GRAPH.num_nodes
+        assert stats.recomputed + stats.reused == DEPTH * n
+        # A single relabel on C16 at depth 5 touches a bounded ball.
+        assert stats.reused > 0
+        assert 0.0 < stats.reuse_fraction < 1.0
+        assert maintainer.stats()["updates"] == 1
+
+    def test_changed_front_is_bounded_by_the_blast_radius(self):
+        dynamic = DynamicGraph(self.GRAPH)
+        maintainer = dynamic.maintainer(DEPTH)
+        dynamic.apply([relabel(0, "input", ("X",))])
+        # Changes at depth d live within distance d-1 of the relabeled
+        # node: at most sum_{k<DEPTH} |ball(0, k)| slots on a cycle.
+        ball_sizes = sum(min(2 * k + 1, 16) for k in range(DEPTH))
+        assert maintainer.last_stats.changed <= ball_sizes
+
+    def test_depth_validation(self):
+        with pytest.raises(DynamicError, match="at least 1"):
+            DynamicViewMaintainer(self.GRAPH, 0)
+        maintainer = DynamicViewMaintainer(self.GRAPH, 2)
+        with pytest.raises(DynamicError, match="maintained depths"):
+            maintainer.views(3)
+
+    def test_node_set_must_be_invariant(self):
+        maintainer = DynamicViewMaintainer(self.GRAPH, 2)
+        other = with_uniform_input(cycle_graph(5))
+        with pytest.raises(DynamicError, match="invariant node set"):
+            maintainer.update(other)
+
+    def test_divergence_is_detected(self):
+        # Corrupt the maintained state behind the maintainer's back: the
+        # oracle must name the divergence instead of passing silently.
+        maintainer = DynamicViewMaintainer(self.GRAPH, 2)
+        # A depth-1 tree in a depth-2 slot is a genuinely different
+        # interned object (on the uniform cycle, swapping two same-depth
+        # slots would be invisible — every node's view is the same tree).
+        maintainer._levels[1][3] = maintainer._levels[0][3]
+        with pytest.raises(DynamicError, match="not the interned"):
+            differential_check(maintainer)

@@ -39,6 +39,9 @@ EXPECTED_IDS = {
     "resilience-crash",
     "resilience-corrupt",
     "resilience-reorder",
+    "churn-views",
+    "churn-validity",
+    "churn-engine",
 }
 
 FAST_IDS = sorted(
@@ -58,6 +61,10 @@ FAST_IDS = sorted(
         "resilience-crash",
         "resilience-corrupt",
         "resilience-reorder",
+        # The dynamic family is covered by tests/dynamic/.
+        "churn-views",
+        "churn-validity",
+        "churn-engine",
     }
 )
 
@@ -106,7 +113,7 @@ class TestResults:
         sorted(
             e
             for e in EXPECTED_IDS - set(FAST_IDS) - {"figure3", "theorem1"}
-            if not e.startswith("resilience-")
+            if not e.startswith(("resilience-", "churn-"))
         ),
     )
     def test_slow_experiments_pass(self, experiment_id):
