@@ -15,7 +15,7 @@ PERF_SMOKE_FLAGS ?=
 # JSON) land here instead of the repo root; the directory is gitignored.
 OUT_DIR := benchmarks/out
 
-.PHONY: test bench perf perf-smoke faults-smoke dynamic-smoke artifacts-smoke invariants lint typecheck experiments fabric fabric-merge ci
+.PHONY: test bench perf perf-smoke faults-smoke dynamic-smoke artifacts-smoke hashseed-smoke invariants lint typecheck experiments fabric fabric-merge ci
 
 test:  ## tier-1 test suite
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -40,8 +40,13 @@ artifacts-smoke:  ## cold/warm artifact-serving differential gate (see docs/ARTI
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.artifacts gate \
 		--store $(OUT_DIR)/ARTIFACTS_store.jsonl --out $(OUT_DIR)
 
-invariants:  ## AST-based determinism/anonymity lint (see docs/LINT.md)
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint --baseline LINT_BASELINE.json
+hashseed-smoke:  ## hash-seed independence gate: canonical bytes under two PYTHONHASHSEEDs
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments.hashseed_gate
+
+invariants:  ## syntactic + interprocedural flow lint (see docs/LINT.md)
+	@mkdir -p $(OUT_DIR)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint --baseline LINT_BASELINE.json \
+		--json $(OUT_DIR)/LINT_report.json --call-graph $(OUT_DIR)/CALL_GRAPH.json
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.lint tests --warn-only
 
 lint:  ## ruff: lint everything, format-check the migrated files
@@ -74,4 +79,4 @@ fabric-merge:  ## fold the fabric store into the canonical merged artifact
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.experiments fabric merge \
 		$(OUT_DIR)/FABRIC_results.jsonl --out $(OUT_DIR)/RESULTS_experiments.json
 
-ci: lint typecheck invariants test faults-smoke dynamic-smoke artifacts-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs
+ci: lint typecheck invariants test faults-smoke dynamic-smoke artifacts-smoke hashseed-smoke perf-smoke  ## exactly what .github/workflows/ci.yml runs

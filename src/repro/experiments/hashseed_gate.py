@@ -1,0 +1,218 @@
+"""Hash-seed independence gate: ``python -m repro.experiments.hashseed_gate``.
+
+The flow lint (docs/LINT.md, FLOW002) proves *statically* that no
+set-iteration order reaches a canonical encoder.  This gate is the
+dynamic twin of that proof, wired into CI as ``make hashseed-smoke``:
+it re-executes the canonical views/artifacts/dynamic pipelines in
+child interpreters under two different ``PYTHONHASHSEED`` values and
+diffs the emitted byte manifests byte-for-byte.  String-hash
+randomization perturbs every ``set``/``dict`` hash order the runtime
+uses internally, so any order leak the lattice missed shows up here as
+a digest divergence naming the exact pipeline stage.
+
+Two modes:
+
+* default (no args) — the driver: spawns ``--emit`` children under
+  ``PYTHONHASHSEED`` 0 (twice, pinning run-to-run determinism) and
+  4217, compares their stdout.  Exits 0 on byte equality, 1 with the
+  first diverging manifest line otherwise.
+* ``--emit`` — one child run: builds a fixed graph portfolio, pushes
+  it through views, refinement, quotients, artifact keys, dynamic
+  replay and fabric task keys, and prints a sorted JSON manifest of
+  ``label -> sha256(canonical bytes)`` to stdout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+__all__ = ["emit_manifest", "main"]
+
+#: Two seeds is the contract: equality across *different* hash seeds is
+#: what proves independence; 0 is additionally run twice to separate
+#: "hash-order leak" from "plain nondeterminism" in the failure report.
+_SEEDS = ("0", "0", "4217")
+
+_VIEW_DEPTH = 3
+
+
+def _portfolio():
+    """A small graph zoo covering the shapes the paper cares about:
+    symmetric (cycle, torus, circulant), asymmetric (caterpillar) and
+    sampled-but-seeded (random regular)."""
+    from repro.graphs.builders import (
+        caterpillar_graph,
+        circulant_graph,
+        cycle_graph,
+        petersen_graph,
+        random_regular_graph,
+        torus_graph,
+        with_uniform_input,
+    )
+
+    return [
+        ("cycle-6", with_uniform_input(cycle_graph(6))),
+        ("torus-3x4", with_uniform_input(torus_graph(3, 4))),
+        ("circulant-9-12", with_uniform_input(circulant_graph(9, (1, 2)))),
+        ("petersen", with_uniform_input(petersen_graph())),
+        ("caterpillar-4x2", with_uniform_input(caterpillar_graph(4, 2))),
+        ("random-regular-10-3", with_uniform_input(random_regular_graph(10, 3, seed=7))),
+    ]
+
+
+def _quotient_portfolio():
+    """2-hop-colored instances whose view quotient is simple."""
+    from repro.graphs.builders import (
+        caterpillar_graph,
+        cycle_graph,
+        with_uniform_input,
+    )
+    from repro.graphs.coloring import (
+        apply_two_hop_coloring,
+        greedy_two_hop_coloring,
+    )
+    from repro.graphs.lifts import cyclic_lift
+
+    def colored(graph):
+        return apply_two_hop_coloring(graph, greedy_two_hop_coloring(graph))
+
+    base = colored(with_uniform_input(cycle_graph(3)))
+    lift, _ = cyclic_lift(base, 4)
+    return [
+        ("colored-cycle-6", colored(with_uniform_input(cycle_graph(6)))),
+        ("colored-caterpillar-4x2", colored(with_uniform_input(caterpillar_graph(4, 2)))),
+        ("lifted-colored-cycle-3x4", lift),
+    ]
+
+
+def emit_manifest() -> "dict[str, str]":
+    """Run the canonical pipelines and digest every byte surface."""
+    from repro.artifacts.encoders import (
+        encode_dynamic_views,
+        encode_quotient,
+        encode_refinement,
+        encode_views,
+    )
+    from repro.artifacts.keys import artifact_key
+    from repro.artifacts.specs import (
+        dynamic_views_spec,
+        quotient_spec,
+        refinement_spec,
+        views_spec,
+    )
+    from repro.dynamic.delta import add_edge, relabel, remove_edge
+    from repro.dynamic.maintain import replay_views
+    from repro.experiments.fabric import task_key
+    from repro.factor.quotient import infinite_view_graph
+    from repro.views.local_views import all_views
+    from repro.views.refinement import color_refinement
+
+    def digest(payload: bytes) -> str:
+        return hashlib.sha256(payload).hexdigest()
+
+    manifest: "dict[str, str]" = {}
+    for name, graph in _portfolio():
+        views = all_views(graph, _VIEW_DEPTH)
+        manifest[f"{name}/views"] = digest(encode_views(views))
+        manifest[f"{name}/refinement"] = digest(
+            encode_refinement(color_refinement(graph))
+        )
+        # Keys are addresses: a hash-order leak in spec canonicalization
+        # would silently rotate every cache entry, so pin them too.
+        manifest[f"{name}/key/views"] = artifact_key(views_spec(graph, _VIEW_DEPTH))
+        manifest[f"{name}/key/refinement"] = artifact_key(refinement_spec(graph))
+        manifest[f"{name}/key/task"] = task_key(
+            "hashseed-gate", views_spec(graph, _VIEW_DEPTH), seed=0
+        )
+
+    # Quotients require 2-hop-colored input (Lemma 2); the lift of a
+    # colored cycle is the paper's Figure 2 tower, whose quotient
+    # recovers the base — a nontrivial fibration to canonicalize.
+    for name, graph in _quotient_portfolio():
+        manifest[f"{name}/quotient"] = digest(
+            encode_quotient(infinite_view_graph(graph, with_views=True))
+        )
+        manifest[f"{name}/key/quotient"] = artifact_key(
+            quotient_spec(graph, with_views=True)
+        )
+
+    base = _portfolio()[0][1]
+    deltas = [
+        add_edge(0, 3),
+        relabel(1, "input", (2, 99)),
+        add_edge(1, 4),
+        remove_edge(0, 1),
+    ]
+    manifest["dynamic/replayed-views"] = digest(
+        encode_dynamic_views(replay_views(base, deltas, _VIEW_DEPTH))
+    )
+    manifest["dynamic/key"] = artifact_key(
+        dynamic_views_spec(base, deltas, _VIEW_DEPTH)
+    )
+    return manifest
+
+
+def _child(seed: str) -> "tuple[str, str]":
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.hashseed_gate", "--emit"],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"emit child (PYTHONHASHSEED={seed}) failed:\n{proc.stderr}"
+        )
+    return seed, proc.stdout
+
+
+def _first_divergence(a: str, b: str) -> str:
+    for line_a, line_b in zip(a.splitlines(), b.splitlines()):
+        if line_a != line_b:
+            return f"{line_a!r} vs {line_b!r}"
+    return f"lengths differ: {len(a)} vs {len(b)} bytes"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv == ["--emit"]:
+        print(json.dumps(emit_manifest(), indent=2, sort_keys=True))
+        return 0
+    if argv:
+        print(f"usage: {__name__} [--emit]", file=sys.stderr)
+        return 2
+
+    print(f"[gate] canonical manifests under PYTHONHASHSEED {_SEEDS} ...")
+    runs = [_child(seed) for seed in _SEEDS]
+    (seed_a, out_a), (_, out_rerun), (seed_b, out_b) = runs
+    failures = []
+    if out_a != out_rerun:
+        failures.append(
+            f"rerun under PYTHONHASHSEED={seed_a} diverges (plain "
+            f"nondeterminism, not hash order): {_first_divergence(out_a, out_rerun)}"
+        )
+    if out_a != out_b:
+        failures.append(
+            f"PYTHONHASHSEED={seed_a} vs {seed_b} diverge — a hash-order "
+            f"leak reaches canonical bytes: {_first_divergence(out_a, out_b)}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"[gate] FAILED: {failure}", file=sys.stderr)
+        return 1
+    entries = len(json.loads(out_a))
+    print(
+        f"[gate] ok: {entries} manifest entries byte-identical across "
+        f"seeds {seed_a} and {seed_b} (and across reruns)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

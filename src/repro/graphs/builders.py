@@ -118,7 +118,7 @@ def torus_graph(rows: int, cols: int) -> LabeledGraph:
             down = ((r + 1) % rows) * cols + c
             edges.add(frozenset((v, right)))
             edges.add(frozenset((v, down)))
-    return LabeledGraph([tuple(sorted(e)) for e in edges])
+    return LabeledGraph(sorted(tuple(sorted(e)) for e in edges))
 
 
 def circulant_graph(n: int, offsets: Sequence[int]) -> LabeledGraph:
@@ -137,7 +137,7 @@ def circulant_graph(n: int, offsets: Sequence[int]) -> LabeledGraph:
             u = (v + d) % n
             if u != v:
                 edges.add(frozenset((v, u)))
-    return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+    return LabeledGraph(sorted(tuple(sorted(e)) for e in edges), nodes=range(n))
 
 
 def wheel_graph(rim: int) -> LabeledGraph:
@@ -203,7 +203,7 @@ def random_connected_graph(
         for v in range(u + 1, n):
             if frozenset((u, v)) not in edges and rng.random() < extra_edge_probability:
                 edges.add(frozenset((u, v)))
-    return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+    return LabeledGraph(sorted(tuple(sorted(e)) for e in edges), nodes=range(n))
 
 
 def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 1000) -> LabeledGraph:
@@ -223,7 +223,7 @@ def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 10
         if edges is None:
             continue
         try:
-            return LabeledGraph([tuple(sorted(e)) for e in edges], nodes=range(n))
+            return LabeledGraph(edges, nodes=range(n))
         except GraphError:
             continue  # disconnected attempt; retry
     raise GraphError(
@@ -234,7 +234,7 @@ def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 10
 
 def _configuration_model_attempt(
     n: int, degree: int, rng: random.Random
-) -> list[frozenset] | None:
+) -> list[tuple] | None:
     stubs = [v for v in range(n) for _ in range(degree)]
     rng.shuffle(stubs)
     edges: set = set()
@@ -243,7 +243,9 @@ def _configuration_model_attempt(
         if u == v or frozenset((u, v)) in edges:
             return None
         edges.add(frozenset((u, v)))
-    return list(edges)
+    # Canonical edge order: the sampled *edge set* is the outcome; its
+    # set-iteration order is not, and must not leak downstream.
+    return sorted(tuple(sorted(e)) for e in edges)
 
 
 def with_uniform_input(graph: LabeledGraph, value: object = 0) -> LabeledGraph:

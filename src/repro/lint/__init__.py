@@ -23,9 +23,23 @@ DET003    no ``id()`` / ``object.__hash__`` in algorithm-visible code
 ENG001    no per-round state mutation or delivery construction
           outside :mod:`repro.runtime.engine` (the unified kernel)
 WALL001   no wall-clock or float arithmetic inside canonical encoders
+FLOW001   (interprocedural) no entropy/clock value *flows* into a
+          canonical encoder or algorithm state, across any number of
+          calls and assignments
+FLOW002   (interprocedural) no unordered-iteration order flows into a
+          canonical encoder without passing through ``sorted()``
+ANON001   (interprocedural) no ``id()``-derived value flows into
+          algorithm-visible state or a view-tree mark
+PURE001   canonical codecs are transitively free of I/O, non-local
+          mutation and clock reads
 LINT000   (framework) file failed to parse
 LINT001   (framework) suppression comment that suppresses nothing
 ========  ==========================================================
+
+The ``FLOW``/``ANON``/``PURE`` families run on a whole-program call
+graph with per-function taint summaries (:mod:`repro.lint.flow`);
+their findings carry a *witness chain* — the concrete source-to-sink
+call path — in the JSON report and the rendered output.
 
 Findings can be silenced line-by-line with a justified comment::
 

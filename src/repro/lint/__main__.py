@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the JSON report (to FILE, or stdout when no FILE given)",
     )
     parser.add_argument(
+        "--call-graph",
+        metavar="FILE",
+        help="write the whole-program call graph (JSON: nodes, edges, "
+        "unresolved/ambiguous call sites) of the analyzed src/ tree",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -130,10 +136,17 @@ def main(argv: list[str] | None = None) -> int:
             select=select,
             baseline=None if args.write_baseline else baseline,
             warn_only=args.warn_only,
+            want_call_graph=bool(args.call_graph),
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return USAGE_ERROR
+
+    if args.call_graph and report.call_graph is not None:
+        Path(args.call_graph).write_text(
+            json.dumps(report.call_graph, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     if args.write_baseline:
         assert baseline is not None

@@ -16,7 +16,9 @@ from repro.lint.baseline import Baseline
 from repro.lint.findings import Finding, Severity
 
 #: JSON report schema version; bump on breaking shape changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2: findings carry a ``witness`` call chain (flow rules), reports a
+#: ``call_graph`` summary block when one was requested.
+REPORT_SCHEMA_VERSION = 2
 
 PARSE_ERROR_RULE = "LINT000"
 UNUSED_SUPPRESSION_RULE = "LINT001"
@@ -117,6 +119,9 @@ class LintReport:
     rules: list[dict[str, str]]
     warn_only: bool = False
     baseline_path: str | None = None
+    #: ``FlowProgram.call_graph.as_dict()`` when the run was asked to
+    #: produce one (``--call-graph``); ``None`` otherwise.
+    call_graph: dict[str, Any] | None = None
 
     @property
     def new_errors(self) -> list[Finding]:
@@ -164,6 +169,11 @@ class LintReport:
                 "path": self.baseline_path,
                 "expired": self.expired_baseline,
             },
+            "call_graph": (
+                None
+                if self.call_graph is None
+                else self.call_graph.get("stats", {})
+            ),
             "exit_code": self.exit_code,
         }
 
@@ -203,23 +213,39 @@ def run_lint(
     baseline: Baseline | None = None,
     warn_only: bool = False,
     report_unused_suppressions: bool | None = None,
+    want_call_graph: bool = False,
 ) -> LintReport:
     """Analyze ``paths`` (files or directories) relative to ``root``.
 
     ``rules`` overrides the registry (used by the framework tests);
-    ``select`` filters registered rules by id.  ``baseline`` marks
-    known findings so only new ones fail the gate.  Unused-suppression
-    warnings (LINT001) default to full-registry runs only — a filtered
-    run legitimately leaves other rules' suppressions unexercised.
+    ``select`` filters registered rules by id or family prefix.
+    ``baseline`` marks known findings so only new ones fail the gate.
+    Unused-suppression warnings (LINT001) default to full-registry runs
+    only — a filtered run legitimately leaves other rules' suppressions
+    unexercised.  ``want_call_graph`` attaches the whole-program call
+    graph dump to the report even when no flow rule is selected.
+
+    Per-module rules run file by file; whole-program rules
+    (:class:`repro.lint.registry.ProgramRule`) run once over the
+    interprocedural :class:`repro.lint.flow.FlowProgram` built from the
+    analyzed ``src/`` files, and their findings pass through the same
+    suppression, fingerprint and baseline machinery.
     """
     from repro.lint.registry import all_rules
 
     if report_unused_suppressions is None:
         report_unused_suppressions = rules is None and not select
     active = list(rules) if rules is not None else all_rules(select)
+    module_rules = [r for r in active if not getattr(r, "is_program_rule", False)]
+    program_rules = [r for r in active if getattr(r, "is_program_rule", False)]
+
     findings: list[Finding] = []
     suppressed = 0
     files = _collect_files([Path(p) for p in paths])
+    modules: list[ModuleContext] = []
+    suppressions_by_path: dict[str, list[Suppression]] = {}
+
+    # Pass 1: parse everything, so whole-program rules see one tree.
     for path in files:
         relpath = _relpath(path, root)
         source = path.read_text(encoding="utf-8")
@@ -237,28 +263,55 @@ def run_lint(
                 )
             )
             continue
-        module = ModuleContext(
-            path=path,
-            relpath=relpath,
-            source=source,
-            tree=tree,
-            imports=ImportMap(tree),
-            lines=source.splitlines(),
+        modules.append(
+            ModuleContext(
+                path=path,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                imports=ImportMap(tree),
+                lines=source.splitlines(),
+            )
         )
-        suppressions = _scan_suppressions(source)
-        for rule in active:
-            if not rule.applies_to(relpath):
+        suppressions_by_path[relpath] = _scan_suppressions(source)
+
+    def admit(finding: Finding) -> None:
+        nonlocal suppressed
+        covering = [
+            s
+            for s in suppressions_by_path.get(finding.path, ())
+            if s.covers(finding.rule, finding.line)
+        ]
+        if covering:
+            for s in covering:
+                s.used = True
+            suppressed += 1
+        else:
+            findings.append(finding)
+
+    # Pass 2: per-module rules.
+    for module in modules:
+        for rule in module_rules:
+            if not rule.applies_to(module.relpath):
                 continue
             for finding in rule.check(module):
-                covering = [
-                    s for s in suppressions if s.covers(finding.rule, finding.line)
-                ]
-                if covering:
-                    for s in covering:
-                        s.used = True
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+                admit(finding)
+
+    # Pass 3: whole-program (flow) rules over the src/ tree.
+    call_graph_dump: dict[str, Any] | None = None
+    if program_rules or want_call_graph:
+        from repro.lint.flow import build_program
+
+        program = build_program(
+            [m for m in modules if m.relpath.startswith("src/")]
+        )
+        if want_call_graph:
+            call_graph_dump = program.call_graph.as_dict()
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                admit(finding)
+
+    for relpath, suppressions in suppressions_by_path.items():
         for s in suppressions:
             if not s.used and report_unused_suppressions:
                 findings.append(
@@ -278,7 +331,9 @@ def run_lint(
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     expired: list[dict[str, Any]] = []
     if baseline is not None:
-        findings, expired = baseline.apply(findings)
+        active_ids = {r.rule_id for r in active}
+        active_ids.update((PARSE_ERROR_RULE, UNUSED_SUPPRESSION_RULE))
+        findings, expired = baseline.apply(findings, active_rules=active_ids)
     return LintReport(
         root=str(root),
         paths=[_relpath(Path(p), root) for p in paths],
@@ -296,4 +351,5 @@ def run_lint(
         ],
         warn_only=warn_only,
         baseline_path=str(baseline.path) if baseline is not None else None,
+        call_graph=call_graph_dump,
     )

@@ -56,9 +56,19 @@ class Baseline:
         return cls(path=path, entries=list(entries))
 
     def apply(
-        self, findings: list[Finding]
+        self,
+        findings: list[Finding],
+        active_rules: "set[str] | None" = None,
     ) -> tuple[list[Finding], list[dict[str, Any]]]:
-        """Mark baselined findings; report entries that no longer match."""
+        """Mark baselined findings; report entries that no longer match.
+
+        An entry is *expired* (stale) only when its rule actually ran
+        this pass and produced no matching finding.  Under ``--select``
+        (or an explicit ``rules=`` subset) the unselected rules never
+        got a chance to re-produce their findings, so their entries are
+        neither matched nor expired — they are simply out of scope.
+        ``active_rules=None`` means the full registry ran.
+        """
         known = {entry["fingerprint"]: entry for entry in self.entries}
         seen = set()
         out: list[Finding] = []
@@ -69,7 +79,10 @@ class Baseline:
             else:
                 out.append(finding)
         expired = [
-            entry for fp, entry in known.items() if fp not in seen
+            entry
+            for fp, entry in known.items()
+            if fp not in seen
+            and (active_rules is None or entry["rule"] in active_rules)
         ]
         expired.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
         return out, expired

@@ -34,6 +34,11 @@ class Finding:
     col: int
     message: str
     baselined: bool = field(default=False, compare=False)
+    #: Interprocedural witness: the source→sink call chain proving the
+    #: finding (flow rules only; empty for single-site rules).  Not part
+    #: of the fingerprint — a chain may reroute through different
+    #: helpers while the violation it proves stays the same.
+    witness: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def fingerprint(self) -> str:
@@ -51,6 +56,7 @@ class Finding:
             col=self.col,
             message=self.message,
             baselined=True,
+            witness=self.witness,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -63,11 +69,16 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
             "baselined": self.baselined,
+            "witness": list(self.witness),
         }
 
     def render(self) -> str:
         tag = " [baselined]" if self.baselined else ""
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule} [{self.severity}]{tag} {self.message}"
         )
+        if not self.witness:
+            return head
+        chain = "\n".join(f"    {i + 1}. {hop}" for i, hop in enumerate(self.witness))
+        return f"{head}\n{chain}"

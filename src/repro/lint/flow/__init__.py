@@ -1,0 +1,80 @@
+"""Interprocedural taint analysis over the ``src/repro`` tree.
+
+The per-module rules (DET/ENG/WALL) prove the determinism and anonymity
+contracts *syntactically*: a literal ``time.time()`` call in the wrong
+file is flagged where it stands.  They cannot see a clock value
+laundered through three helpers into a canonical encoder, or node
+identity reaching a transition function through an aliased
+intermediate.  This package escalates to a *flow-wise* proof, the same
+move the paper's coverings make from local conditions to global
+structure:
+
+1. :mod:`repro.lint.flow.callgraph` builds a whole-program call graph —
+   module-qualified function and method nodes, edges resolved through
+   the existing :class:`repro.lint.astutil.ImportMap` plus
+   attribute-call heuristics (``self``/``super()``/constructor-typed
+   locals/unique method names), with every unresolved call *reported*,
+   never silently dropped.
+2. :mod:`repro.lint.flow.lattice` defines the taint kinds (entropy,
+   clock, unordered iteration, float arithmetic, node identity), the
+   source and sanitizer tables, and the canonical-sink classifier.
+3. :mod:`repro.lint.flow.summaries` computes one summary per function —
+   which taints its return value carries, which parameters flow to its
+   return or onward into a sink, and which effects (I/O, non-local
+   mutation, clocks) it transitively performs — and iterates them to a
+   fixpoint, so the analysis is linear passes over summaries rather
+   than path enumeration.
+4. :mod:`repro.lint.flow.rules` registers the FLOW/ANON/PURE rules on
+   the existing chassis; every finding carries a concrete source→sink
+   witness call chain (JSON report schema v2).
+
+Entry point: :func:`build_program` turns the analyzer's parsed
+``ModuleContext`` list into a :class:`FlowProgram` shared by all
+program rules in one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.flow.callgraph import CallGraph, build_call_graph
+from repro.lint.flow.summaries import (
+    FunctionSummary,
+    ReturnEvent,
+    SinkEvent,
+    collect_events,
+    compute_summaries,
+)
+
+__all__ = [
+    "CallGraph",
+    "FlowProgram",
+    "FunctionSummary",
+    "ReturnEvent",
+    "SinkEvent",
+    "build_program",
+]
+
+
+@dataclass
+class FlowProgram:
+    """Everything the flow rules need, computed once per lint run."""
+
+    call_graph: CallGraph
+    summaries: "dict[str, FunctionSummary]"
+    sink_events: "list[SinkEvent]"
+    return_events: "list[ReturnEvent]"
+
+
+def build_program(modules) -> FlowProgram:
+    """Index ``modules`` (analyzer ``ModuleContext``s under ``src/``),
+    run the summary fixpoint, and collect the sink/return event log."""
+    graph = build_call_graph(modules)
+    summaries = compute_summaries(graph)
+    sink_events, return_events = collect_events(graph, summaries)
+    return FlowProgram(
+        call_graph=graph,
+        summaries=summaries,
+        sink_events=sink_events,
+        return_events=return_events,
+    )

@@ -1,0 +1,571 @@
+"""Whole-program call graph of the analyzed ``src/`` tree.
+
+Nodes are module-qualified defs: ``repro.views.refinement.refine``,
+``repro.views.view_tree.ViewTree.make``, nested defs as
+``outer.inner``.  Every ``def`` found by the indexer *is* a node —
+the coverage test in ``tests/lint/test_callgraph.py`` pins that — and
+every call site resolves to exactly one of:
+
+``internal``
+    a function/method node of the graph (the summary edge);
+``constructor``
+    a class node — the abstract result carries the argument taints and
+    the local is typed for later ``var.method()`` resolution;
+``external``
+    a dotted name outside the program (stdlib, builtins) — modeled by
+    the source/sanitizer tables, otherwise taint-propagating;
+``ambiguous``
+    an attribute call whose method name exists on several program
+    classes and whose receiver type is unknown — recorded with its
+    candidates, treated like ``external`` for taint;
+``unresolved``
+    everything else (callable locals, ``*`` imports, dynamic dispatch)
+    — recorded, never silently dropped.
+
+Resolution order for an attribute call ``base.attr(...)``: ``super()``
+delegation, ``self``/``cls`` method lookup through the base-class
+chain, dotted import resolution (through package re-exports), local
+constructor types, then the unique-method-name heuristic.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "build_call_graph",
+    "module_name_of",
+    "own_nodes",
+]
+
+
+def own_nodes(root: "ast.AST"):
+    """Walk ``root`` without descending into nested def/class bodies —
+    a function's statements belong to it, a closure's to the closure
+    (which is its own graph node)."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def module_name_of(relpath: str) -> "str | None":
+    """Dotted module name of a root-relative ``src/`` path, or None."""
+    if not relpath.startswith("src/") or not relpath.endswith(".py"):
+        return None
+    parts = relpath[len("src/") : -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(p.isidentifier() for p in parts):
+        return None
+    return ".".join(parts)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    relpath: str
+    node: ast.ClassDef
+    #: Base expressions resolved to dotted names where possible (via the
+    #: module's ImportMap or local scope); unresolvable bases kept raw.
+    bases: "tuple[str, ...]" = ()
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    module: str
+    relpath: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    cls: "ClassInfo | None" = None
+    #: Positional parameter names in call order (posonly + args); for
+    #: bound methods this *includes* ``self``/``cls`` so argument index
+    #: 0 is the receiver.
+    params: "tuple[str, ...]" = ()
+    kwonly: "tuple[str, ...]" = ()
+    vararg: "str | None" = None
+    kwarg: "str | None" = None
+    is_static: bool = False
+    decorators: "tuple[str, ...]" = ()
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def param_index(self, name: str) -> "int | None":
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class CallSite:
+    kind: str  # internal | constructor | external | ambiguous | unresolved
+    target: "str | None"  # qualname (internal/constructor), dotted name (external)
+    attr: "str | None" = None  # trailing attribute name, when any
+    candidates: "tuple[str, ...]" = ()  # ambiguous targets
+    heuristic: bool = False  # resolved by the unique-name heuristic
+
+
+#: Attribute names that exist on builtin containers/strings/files: the
+#: unique-method-name heuristic must never resolve these to a program
+#: method, because ``pool.append(...)`` on a plain list would otherwise
+#: bind to the one program class that happens to define ``append``.
+_GENERIC_ATTRS = frozenset(
+    name
+    for typ in (list, dict, set, frozenset, tuple, str, bytes, int, float)
+    for name in dir(typ)
+) | {"flush", "close", "read", "readline", "readlines", "seek", "write"}
+
+
+def _decorator_names(node, imports) -> "tuple[str, ...]":
+    names = []
+    for dec in node.decorator_list:
+        expr = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = _dotted_of(expr)
+        if dotted is not None:
+            names.append(imports.origin_of(dotted.split(".")[0]) or dotted)
+        else:
+            names.append("<dynamic>")
+    return tuple(names)
+
+
+def _dotted_of(node: ast.AST) -> "str | None":
+    """``a.b.c`` as a string, or None for non-name-rooted chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Indexer(ast.NodeVisitor):
+    """One pass per module collecting functions and classes."""
+
+    def __init__(self, graph: "CallGraph", modname: str, module) -> None:
+        self.graph = graph
+        self.modname = modname
+        self.module = module
+        self.scope: "list[str]" = []
+        self.class_stack: "list[ClassInfo | None]" = []
+
+    def _qual(self, name: str) -> str:
+        return ".".join([self.modname, *self.scope, name])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = []
+        for base in node.bases:
+            dotted = _dotted_of(base)
+            if dotted is None:
+                bases.append("<dynamic>")
+                continue
+            resolved = self.graph._resolve_dotted_in_module(
+                self.modname, self.module, dotted
+            )
+            bases.append(resolved if resolved is not None else dotted)
+        info = ClassInfo(
+            qualname=self._qual(node.name),
+            module=self.modname,
+            relpath=self.module.relpath,
+            node=node,
+            bases=tuple(bases),
+        )
+        self.graph.classes[info.qualname] = info
+        self.scope.append(node.name)
+        self.class_stack.append(info)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    def _visit_def(self, node) -> None:
+        cls = self.class_stack[-1] if self.class_stack else None
+        # Only a def whose *immediate* lexical parent is the class is a
+        # method of it; a def nested inside a method is a plain closure.
+        if cls is not None and self.scope and self.scope[-1] != cls.node.name:
+            cls = None
+        decorators = _decorator_names(node, self.module.imports)
+        is_static = any(d.endswith("staticmethod") for d in decorators)
+        args = node.args
+        params = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        if cls is not None and is_static and params:
+            pass  # staticmethods have no receiver; params are as written
+        info = FunctionInfo(
+            qualname=self._qual(node.name),
+            module=self.modname,
+            relpath=self.module.relpath,
+            node=node,
+            cls=cls,
+            params=tuple(params),
+            kwonly=tuple(a.arg for a in args.kwonlyargs),
+            vararg=args.vararg.arg if args.vararg else None,
+            kwarg=args.kwarg.arg if args.kwarg else None,
+            is_static=is_static,
+            decorators=decorators,
+        )
+        self.graph.functions[info.qualname] = info
+        if cls is not None:
+            cls.methods[node.name] = info
+            self.graph.methods_by_name.setdefault(node.name, []).append(info)
+        elif not self.scope:
+            self.graph.module_scope[self.modname].setdefault(
+                node.name, info.qualname
+            )
+        self.scope.append(node.name)
+        self.class_stack.append(None)  # defs nested below are closures
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+
+class CallGraph:
+    """The program index plus call-site resolution."""
+
+    def __init__(self) -> None:
+        self.modules: "dict[str, Any]" = {}  # dotted module -> ModuleContext
+        self.functions: "dict[str, FunctionInfo]" = {}
+        self.classes: "dict[str, ClassInfo]" = {}
+        self.methods_by_name: "dict[str, list[FunctionInfo]]" = {}
+        #: Per-module top-level name -> qualname (defs and classes).
+        self.module_scope: "dict[str, dict[str, str]]" = {}
+        #: Call-site log for the dump: (caller, CallSite, lineno).
+        self.edges: "set[tuple[str, str]]" = set()
+        self.unresolved: "list[dict[str, Any]]" = []
+        self.ambiguous: "list[dict[str, Any]]" = []
+        self._local_types_cache: "dict[str, dict[str, str]]" = {}
+        self.def_count: int = 0  # every def/async def seen, dunders included
+        self.nondunder_def_count: int = 0
+
+    # -- name resolution ------------------------------------------------
+
+    def _resolve_dotted_in_module(
+        self, modname: str, module, dotted: str
+    ) -> "str | None":
+        """Resolve ``a.b.c`` as written in ``modname`` to a program
+        qualname (function or class), through imports and re-exports."""
+        head, _, rest = dotted.partition(".")
+        scope = self.module_scope.get(modname, {})
+        if head in scope:
+            return self._resolve_global(
+                scope[head] + ("." + rest if rest else "")
+            )
+        origin = module.imports.origin_of(head)
+        if origin is not None:
+            return self._resolve_global(origin + ("." + rest if rest else ""))
+        return None
+
+    def _resolve_global(self, dotted: str, depth: int = 0) -> "str | None":
+        """Resolve an absolute dotted name to a program qualname,
+        following package re-exports (``from repro.views import X``)."""
+        if depth > 8:
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        head, _, attr = dotted.rpartition(".")
+        if not head:
+            return None
+        # Class attribute: resolve the class part, then the method.
+        resolved_head = None
+        if head in self.classes:
+            resolved_head = head
+        elif head in self.modules:
+            # Name inside a known module: local scope, then its imports.
+            scope = self.module_scope.get(head, {})
+            if attr in scope:
+                if scope[attr] == dotted:
+                    # Defined right there: ``dotted`` IS the canonical
+                    # qualname (the def/class may not be indexed yet
+                    # during the base-resolution pre-pass).
+                    return dotted
+                return self._resolve_global(scope[attr], depth + 1)
+            origin = self.modules[head].imports.origin_of(attr)
+            if origin is not None:
+                return self._resolve_global(origin, depth + 1)
+            return None
+        else:
+            resolved_head = self._resolve_global(head, depth + 1)
+        if resolved_head is not None and resolved_head in self.classes:
+            method = self.lookup_method(self.classes[resolved_head], attr)
+            if method is not None:
+                return method.qualname
+        return None
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str, _seen: "frozenset" = frozenset()
+    ) -> "FunctionInfo | None":
+        """Method resolution through the (linearized) base-class chain."""
+        if cls.qualname in _seen:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            base_cls = self.classes.get(base) or (
+                self.classes.get(self._resolve_global(base) or "")
+            )
+            if base_cls is not None:
+                found = self.lookup_method(
+                    base_cls, name, _seen | {cls.qualname}
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def class_derives_from(self, cls: ClassInfo, base_qualnames: set) -> bool:
+        """True if ``cls``'s base chain reaches any of ``base_qualnames``
+        (bases outside the program compare by their dotted import name)."""
+        stack, seen = list(cls.bases), set()
+        while stack:
+            base = stack.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            if base in base_qualnames:
+                return True
+            base_cls = self.classes.get(base)
+            if base_cls is None:
+                resolved = self._resolve_global(base)
+                base_cls = self.classes.get(resolved or "")
+            if base_cls is not None:
+                if base_cls.qualname in base_qualnames:
+                    return True
+                stack.extend(base_cls.bases)
+        return False
+
+    # -- local constructor types ---------------------------------------
+
+    def local_types(self, fi: FunctionInfo) -> "dict[str, str]":
+        """``name -> class qualname`` for locals assigned a constructor
+        call of a program class (one pass, assignment-order blind)."""
+        cached = self._local_types_cache.get(fi.qualname)
+        if cached is not None:
+            return cached
+        types: "dict[str, str]" = {}
+        module = self.modules.get(fi.module)
+        if fi.cls is not None:
+            types["self"] = fi.cls.qualname
+            types["cls"] = fi.cls.qualname
+        for node in own_nodes(fi.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            dotted = _dotted_of(node.value.func)
+            if dotted is None or module is None:
+                continue
+            resolved = self._resolve_dotted_in_module(fi.module, module, dotted)
+            if resolved in self.classes:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        types[target.id] = resolved
+        self._local_types_cache[fi.qualname] = types
+        return types
+
+    # -- call resolution ------------------------------------------------
+
+    def resolve_call(self, fi: FunctionInfo, call: ast.Call) -> CallSite:
+        func = call.func
+        module = self.modules.get(fi.module)
+
+        # super().m(...) — delegate to the base-class chain.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+            and fi.cls is not None
+        ):
+            for base in fi.cls.bases:
+                base_cls = self.classes.get(base) or self.classes.get(
+                    self._resolve_global(base) or ""
+                )
+                if base_cls is not None:
+                    found = self.lookup_method(base_cls, func.attr)
+                    if found is not None:
+                        return CallSite("internal", found.qualname, attr=func.attr)
+            return CallSite("unresolved", f"super().{func.attr}", attr=func.attr)
+
+        dotted = _dotted_of(func)
+        local_types = self.local_types(fi)
+
+        if dotted is not None:
+            head = dotted.split(".", 1)[0]
+            # Receiver-typed attribute call: self.m(), x.m() after
+            # x = ClassName(...).
+            if "." in dotted and head in local_types:
+                cls = self.classes.get(local_types[head])
+                attr_chain = dotted.split(".")[1:]
+                if cls is not None and len(attr_chain) == 1:
+                    found = self.lookup_method(cls, attr_chain[0])
+                    if found is not None:
+                        return CallSite(
+                            "internal", found.qualname, attr=attr_chain[0]
+                        )
+            # Import / local-scope resolution (also bare names).
+            if module is not None:
+                resolved = self._resolve_dotted_in_module(
+                    fi.module, module, dotted
+                )
+                if resolved is not None:
+                    if resolved in self.classes:
+                        return CallSite("constructor", resolved)
+                    return CallSite("internal", resolved)
+                # Known external dotted origin (stdlib etc.).
+                origin = module.imports.origin_of(head)
+                if origin is not None:
+                    rest = dotted.split(".", 1)
+                    external = origin + ("." + rest[1] if len(rest) > 1 else "")
+                    return CallSite(
+                        "external",
+                        external,
+                        attr=dotted.rsplit(".", 1)[-1] if "." in dotted else None,
+                    )
+            if "." not in dotted:
+                if hasattr(builtins, dotted):
+                    return CallSite("external", dotted)
+                # Callable local, `*` import, or dynamic alias: recorded
+                # as unresolved, never silently dropped.
+                return CallSite("unresolved", dotted)
+
+        # Attribute call on an untyped receiver: the heuristics.
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _GENERIC_ATTRS:
+                # Probably a builtin container/str/file method; the
+                # unique-name heuristic would misbind it.
+                return CallSite("external", None, attr=attr)
+            candidates = self.methods_by_name.get(attr, [])
+            if len(candidates) == 1:
+                return CallSite(
+                    "internal",
+                    candidates[0].qualname,
+                    attr=attr,
+                    heuristic=True,
+                )
+            if len(candidates) > 1:
+                return CallSite(
+                    "ambiguous",
+                    None,
+                    attr=attr,
+                    candidates=tuple(c.qualname for c in candidates),
+                )
+            return CallSite("external", None, attr=attr)
+
+        return CallSite("unresolved", dotted)
+
+    def record_call(self, fi: FunctionInfo, call: ast.Call, site: CallSite) -> None:
+        """Log the resolution for the dump; idempotent per (caller, target)."""
+        if site.kind in ("internal", "constructor") and site.target:
+            self.edges.add((fi.qualname, site.target))
+        elif site.kind == "ambiguous":
+            self.ambiguous.append(
+                {
+                    "caller": fi.qualname,
+                    "attr": site.attr,
+                    "line": call.lineno,
+                    "candidates": list(site.candidates),
+                }
+            )
+        elif site.kind == "unresolved" or (
+            site.kind == "external" and site.target is None and site.attr is None
+        ):
+            self.unresolved.append(
+                {
+                    "caller": fi.qualname,
+                    "name": site.target or site.attr or "<dynamic>",
+                    "line": call.lineno,
+                }
+            )
+
+    # -- dump -----------------------------------------------------------
+
+    def stats(self) -> "dict[str, Any]":
+        return {
+            "modules": len(self.modules),
+            "functions": len(self.functions),
+            "classes": len(self.classes),
+            "edges": len(self.edges),
+            "defs_total": self.def_count,
+            "defs_nondunder": self.nondunder_def_count,
+            "unresolved_calls": len(self.unresolved),
+            "ambiguous_calls": len(self.ambiguous),
+        }
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "schema_version": 1,
+            "tool": "repro-lint-flow",
+            "stats": self.stats(),
+            "nodes": [
+                {
+                    "qualname": fi.qualname,
+                    "path": fi.relpath,
+                    "line": fi.lineno,
+                    "class": fi.cls.qualname if fi.cls else None,
+                }
+                for fi in sorted(self.functions.values(), key=lambda f: f.qualname)
+            ],
+            "edges": sorted([caller, callee] for caller, callee in self.edges),
+            "unresolved": sorted(
+                self.unresolved, key=lambda u: (u["caller"], u["line"])
+            ),
+            "ambiguous": sorted(
+                self.ambiguous, key=lambda a: (a["caller"], a["line"])
+            ),
+        }
+
+
+def build_call_graph(modules) -> CallGraph:
+    """Index ``modules`` and resolve every call site once (the edge set
+    for the dump; the evaluator re-resolves lazily during taint runs)."""
+    graph = CallGraph()
+    indexable = []
+    for module in modules:
+        modname = module_name_of(module.relpath)
+        if modname is None:
+            continue
+        graph.modules[modname] = module
+        graph.module_scope.setdefault(modname, {})
+        indexable.append((modname, module))
+    # Two passes: top-level names must exist before base-class and
+    # re-export resolution can cross modules.
+    for modname, module in indexable:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                graph.module_scope[modname][node.name] = f"{modname}.{node.name}"
+            elif isinstance(node, ast.ClassDef):
+                graph.module_scope[modname][node.name] = f"{modname}.{node.name}"
+    for modname, module in indexable:
+        _Indexer(graph, modname, module).visit(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                graph.def_count += 1
+                if not (
+                    node.name.startswith("__") and node.name.endswith("__")
+                ):
+                    graph.nondunder_def_count += 1
+    # Resolve every call site once so the dump is complete even when no
+    # taint pass runs.
+    for fi in graph.functions.values():
+        for node in own_nodes(fi.node):
+            if isinstance(node, ast.Call):
+                graph.record_call(fi, node, graph.resolve_call(fi, node))
+    return graph

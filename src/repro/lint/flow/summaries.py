@@ -1,0 +1,781 @@
+"""Per-function taint summaries and the interprocedural fixpoint.
+
+One :class:`FunctionSummary` per graph node answers three questions
+without re-walking any other function:
+
+* what taint kinds does the return value carry *intrinsically*
+  (sources reached inside the function or its callees)?
+* which formal parameters flow into the return value, and through
+  which sanitizers?
+* which parameters flow onward into a canonical sink called (possibly
+  transitively) by this function, and what effects (I/O, non-local
+  mutation, clock reads) does it transitively perform?
+
+The fixpoint iterates all summaries until their shapes stabilize —
+the lattice is finite (5 kinds × parameter masks × effect set) and
+joins are monotone, so this is a handful of linear passes over the
+program, never path enumeration.  Recursion needs no special casing:
+a cycle just converges like any other chain.
+
+After the fixpoint, :func:`collect_events` re-evaluates every function
+once against the final summaries and logs *sink events* (a taint kind
+arriving at a canonical sink call with its witness chain) and *return
+events* (the taint of each ``return`` in algorithm-protocol methods),
+which the FLOW/ANON/PURE rules translate into findings.
+
+Precision choices (documented, deliberate):
+
+* Subscript *reads* propagate the container's taint, not the index's,
+  and subscript *writes* store only the value's taint — ``index[id(x)]``
+  dict-keyed interning (the sanctioned pattern everywhere interned
+  trees are deduplicated) therefore does not taint the stored values
+  with IDENTITY.  Which value is read is control dependence, and the
+  rules here track data flow.
+* ``is``-comparisons yield untainted booleans: interned-object identity
+  comparison is canonical by construction (PR 6/9 rely on it).
+* Lambdas and nested defs are separate graph nodes; flows through
+  first-class function values are not tracked (the call graph records
+  such call sites as unresolved rather than dropping them silently).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import is_unordered_expr
+from repro.lint.flow import lattice
+from repro.lint.flow.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.lint.flow.lattice import EMPTY, ParamFlow, Taints
+
+__all__ = [
+    "FunctionSummary",
+    "ReturnEvent",
+    "SinkEvent",
+    "collect_events",
+    "compute_summaries",
+]
+
+#: Hard cap on fixpoint passes; the lattice converges far earlier, this
+#: only bounds pathological inputs.
+MAX_PASSES = 12
+
+
+def _unordered_iter_source(node, imports) -> "str | None":
+    """Flow-level unordered-iteration source: set displays, set
+    comprehensions, ``set(...)``/``frozenset(...)``.
+
+    Deliberately *narrower* than DET002's :func:`is_unordered_expr`:
+    dict views are insertion-ordered, and whether that insertion order
+    was deterministic is already tracked by the taint the dict itself
+    carries — treating every ``.items()`` as a source would flag flows
+    that are provably order-independent (e.g. reading a dict through
+    its sorted key set).  The syntactic DET002 keeps its stricter
+    stance at its specific sinks.
+    """
+    desc = is_unordered_expr(node, imports)
+    if desc is not None and "dict view" in desc:
+        return None
+    return desc
+
+
+@dataclass
+class FunctionSummary:
+    """What a caller needs to know about one function."""
+
+    #: Taint of the return value: concrete kinds (with witness chains)
+    #: plus parameter markers (with sanitizer masks).
+    returns: Taints = field(default_factory=Taints)
+    #: ``(param index, sink qualname) -> ParamFlow``: the parameter
+    #: reaches that canonical sink (possibly through further callees).
+    param_sinks: "dict[tuple[int, str], ParamFlow]" = field(default_factory=dict)
+    #: Transitive effects for PURE001: effect name -> witness chain.
+    effects: "dict[str, tuple[str, ...]]" = field(default_factory=dict)
+
+    def shape(self) -> "tuple":
+        return (
+            self.returns.shape(),
+            tuple(
+                sorted(
+                    (key, tuple(sorted(flow.cleared)))
+                    for key, flow in self.param_sinks.items()
+                )
+            ),
+            tuple(sorted(self.effects)),
+        )
+
+
+@dataclass
+class SinkEvent:
+    """One taint kind arriving at one canonical sink call site."""
+
+    function: FunctionInfo  # where the offending call site is
+    lineno: int
+    col: int
+    kind: str
+    chain: "tuple[str, ...]"
+    sink_label: str
+    sink_qualname: str
+
+
+@dataclass
+class ReturnEvent:
+    """Taint of one ``return`` in an algorithm-protocol method."""
+
+    function: FunctionInfo
+    lineno: int
+    col: int
+    kind: str
+    chain: "tuple[str, ...]"
+
+
+class _Evaluator:
+    """One abstract-interpretation pass over one function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        summaries: "dict[str, FunctionSummary]",
+        fi: FunctionInfo,
+        on_sink=None,
+        on_return=None,
+    ) -> None:
+        self.graph = graph
+        self.summaries = summaries
+        self.fi = fi
+        self.on_sink = on_sink
+        self.on_return = on_return
+        self.env: "dict[str, Taints]" = {}
+        for index, name in enumerate(fi.params):
+            self.env[name] = Taints.of_param(index)
+        # Keyword-only / star parameters: tracked as unsanitizable param
+        # flows anchored past the positional ones.
+        extra = len(fi.params)
+        for name in fi.kwonly:
+            self.env[name] = Taints.of_param(extra)
+            extra += 1
+        if fi.vararg:
+            self.env[fi.vararg] = Taints.of_param(extra)
+            extra += 1
+        if fi.kwarg:
+            self.env[fi.kwarg] = Taints.of_param(extra)
+        self.globals_declared: "set[str]" = set()
+        self.summary = FunctionSummary()
+
+    # -- driving --------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        self._exec_body(self.fi.node.body)
+        if self.fi.module == lattice.TAPE_MODULE:
+            # The tape layer is the sanctioned entropy boundary.
+            self.summary.returns = self.summary.returns.without(
+                lattice.TAPE_CLEARS
+            )
+            self.summary.effects.pop(lattice.EFFECT_CLOCK, None)
+        if self.fi.module in lattice.INTERNING_MODULES:
+            # Content-keyed intern tables: observationally pure.
+            self.summary.effects.pop(lattice.EFFECT_MUTATION, None)
+        return self.summary
+
+    def _site(self, node: "ast.AST") -> str:
+        return f"{self.fi.relpath}:{getattr(node, 'lineno', self.fi.lineno)}"
+
+    def _exec_body(self, body) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    # -- statements -----------------------------------------------------
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate graph nodes
+        if isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass)):
+            return
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            self.globals_declared.update(stmt.names)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            taints = self._eval(stmt.value) if stmt.value is not None else EMPTY
+            self.summary.returns = self.summary.returns.union(taints)
+            if self.on_return is not None and stmt.value is not None:
+                for kind, chain in taints.kinds.items():
+                    self.on_return(
+                        ReturnEvent(
+                            function=self.fi,
+                            lineno=stmt.lineno,
+                            col=stmt.col_offset + 1,
+                            kind=kind,
+                            chain=chain,
+                        )
+                    )
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(stmt)
+            return
+        if isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+            iter_taints = self._eval(stmt.iter)
+            unordered = _unordered_iter_source(
+                stmt.iter, self.graph.modules[self.fi.module].imports
+            )
+            if unordered is not None:
+                iter_taints = iter_taints.union(
+                    Taints.of_kind(
+                        lattice.UNORDERED,
+                        f"iteration over {unordered} at {self._site(stmt.iter)}",
+                    )
+                )
+            self._bind_target(stmt.target, iter_taints)
+            # Two passes so taint flowing through loop-carried locals
+            # stabilizes (a second pass reaches anything a first-pass
+            # assignment introduced).
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, taints)
+            self._exec_body(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_body(handler.body)
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+            return
+        # Match statements and anything newer: evaluate all contained
+        # expressions conservatively, bind nothing.
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                self._eval(node)
+            elif isinstance(node, ast.stmt):
+                self._exec_stmt(node)
+
+    def _exec_assign(self, stmt) -> None:
+        value = getattr(stmt, "value", None)
+        taints = self._eval(value) if value is not None else EMPTY
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        if isinstance(stmt, ast.AugAssign):
+            # x += y joins both sides (and reads the old x).
+            old = self._eval_target_read(stmt.target)
+            taints = taints.union(old)
+        for target in targets:
+            self._bind_target(target, taints)
+
+    def _eval_target_read(self, target) -> Taints:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, EMPTY)
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            return self._eval(target.value)
+        return EMPTY
+
+    def _bind_target(self, target, taints: Taints) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self._effect(
+                    lattice.EFFECT_MUTATION,
+                    f"assigns global {target.id!r} at {self._site(target)}",
+                )
+            self.env[target.id] = taints
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, taints)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_target(target.value, taints)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value
+            # Store into a local container: the container now carries
+            # the value's taint (values only — see the module docstring
+            # on dict-key interning).
+            if isinstance(base, ast.Name):
+                if self._is_nonlocal_base(base):
+                    self._effect(
+                        lattice.EFFECT_MUTATION,
+                        f"mutates module-level {base.id!r} at {self._site(target)}",
+                    )
+                if base.id in self.env:
+                    self.env[base.id] = self.env[base.id].union(taints)
+            else:
+                self._eval(base)
+
+    def _is_nonlocal_base(self, base: ast.Name) -> bool:
+        """A store through a name that is not a local binding mutates
+        module-level (or closure) state."""
+        return base.id not in self.env or base.id in self.globals_declared
+
+    def _effect(self, effect: str, witness: str) -> None:
+        self.summary.effects.setdefault(effect, (witness,))
+
+    # -- expressions ----------------------------------------------------
+
+    def _eval(self, node: "ast.expr | None") -> Taints:
+        if node is None:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, float):
+                return Taints.of_kind(
+                    lattice.FLOAT, f"float literal at {self._site(node)}"
+                )
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            taints = self._eval(node.left).union(self._eval(node.right))
+            if isinstance(node.op, ast.Div):
+                taints = taints.union(
+                    Taints.of_kind(
+                        lattice.FLOAT, f"true division at {self._site(node)}"
+                    )
+                )
+            return taints
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out = out.union(self._eval(value))
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            out = self._eval(node.left)
+            for comparator in node.comparators:
+                out = out.union(self._eval(comparator))
+            if all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+                # Interned-identity comparison is canonical by design.
+                return EMPTY
+            # A boolean is exact; platform float drift does not survive
+            # into it in any way this analysis distinguishes.
+            return out.without({lattice.FLOAT})
+        if isinstance(node, ast.IfExp):
+            return (
+                self._eval(node.test)
+                .union(self._eval(node.body))
+                .union(self._eval(node.orelse))
+            )
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)  # index taint is control dependence
+            return self._eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out = EMPTY
+            for element in node.elts:
+                out = out.union(self._eval(element))
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out = out.union(self._eval(key))
+            for value in node.values:
+                out = out.union(self._eval(value))
+            return out
+        if isinstance(node, ast.Set):
+            out = Taints.of_kind(
+                lattice.UNORDERED, f"set display at {self._site(node)}"
+            )
+            for element in node.elts:
+                out = out.union(self._eval(element))
+            return out
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            out = self._eval_comprehension(node.generators)
+            out = out.union(self._eval(node.elt))
+            if isinstance(node, ast.SetComp):
+                out = out.union(
+                    Taints.of_kind(
+                        lattice.UNORDERED,
+                        f"set comprehension at {self._site(node)}",
+                    )
+                )
+            return out
+        if isinstance(node, ast.DictComp):
+            out = self._eval_comprehension(node.generators)
+            return out.union(self._eval(node.key)).union(self._eval(node.value))
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                out = out.union(self._eval(value))
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                taints = self._eval(node.value)
+                self.summary.returns = self.summary.returns.union(taints)
+                return EMPTY
+            return EMPTY
+        if isinstance(node, ast.NamedExpr):
+            taints = self._eval(node.value)
+            self._bind_target(node.target, taints)
+            return taints
+        if isinstance(node, ast.Lambda):
+            return EMPTY  # separate node; flows through values untracked
+        if isinstance(node, ast.Slice):
+            out = EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out = out.union(self._eval(part))
+            return out
+        # Anything else: fold over child expressions.
+        out = EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out = out.union(self._eval(child))
+        return out
+
+    def _eval_comprehension(self, generators) -> Taints:
+        out = EMPTY
+        imports = self.graph.modules[self.fi.module].imports
+        for gen in generators:
+            iter_taints = self._eval(gen.iter)
+            unordered = _unordered_iter_source(gen.iter, imports)
+            if unordered is not None:
+                iter_taints = iter_taints.union(
+                    Taints.of_kind(
+                        lattice.UNORDERED,
+                        f"iteration over {unordered} at {self._site(gen.iter)}",
+                    )
+                )
+            self._bind_target(gen.target, iter_taints)
+            for condition in gen.ifs:
+                self._eval(condition)
+            out = out.union(iter_taints)
+        return out
+
+    # -- calls ----------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call) -> Taints:
+        site = self.graph.resolve_call(self.fi, call)
+        base_taints = EMPTY
+        if isinstance(call.func, ast.Attribute):
+            base_taints = self._eval(call.func.value)
+        pos_args = [self._eval(arg) for arg in call.args]
+        kw_taints = EMPTY
+        for keyword in call.keywords:
+            kw_taints = kw_taints.union(self._eval(keyword.value))
+        all_args = base_taints.union(*pos_args).union(kw_taints)
+
+        name = site.target if site.kind == "external" else None
+
+        # Sources.
+        if name is not None:
+            kind = lattice.source_kind_of_call(name)
+            if kind is None and name == "random.Random" and not (
+                call.args or call.keywords
+            ):
+                kind = lattice.ENTROPY
+            if kind is not None:
+                if kind == lattice.CLOCK:
+                    self._effect(
+                        lattice.EFFECT_CLOCK,
+                        f"{name}() at {self._site(call)}",
+                    )
+                return all_args.union(
+                    Taints.of_kind(kind, f"{name}() at {self._site(call)}")
+                )
+
+        # Sanitizers.
+        if name is not None and name in lattice.SANITIZER_CALLS:
+            return all_args.without(lattice.SANITIZER_CALLS[name])
+
+        # Unordered constructors (set(...), frozenset(...)).
+        imports = self.graph.modules[self.fi.module].imports
+        unordered = _unordered_iter_source(call, imports)
+        if unordered is not None:
+            return all_args.union(
+                Taints.of_kind(
+                    lattice.UNORDERED,
+                    f"{unordered} at {self._site(call)}",
+                )
+            )
+
+        # I/O and mutation effects on external / untyped calls.
+        if site.kind in ("external", "ambiguous", "unresolved"):
+            if lattice.io_effect_of_call(name, site.attr):
+                self._effect(
+                    lattice.EFFECT_IO,
+                    f"{name or '.' + (site.attr or '?')}() at {self._site(call)}",
+                )
+            if (
+                site.attr in lattice.MUTATING_ATTR_CALLS
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and self._is_nonlocal_base(call.func.value)
+            ):
+                self._effect(
+                    lattice.EFFECT_MUTATION,
+                    f".{site.attr}() on module-level "
+                    f"{call.func.value.id!r} at {self._site(call)}",
+                )
+            # In-place mutators write their arguments into the local
+            # receiver (x.append(tainted) taints x).
+            if (
+                site.attr in lattice.MUTATING_ATTR_CALLS
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in self.env
+            ):
+                receiver = call.func.value.id
+                self.env[receiver] = self.env[receiver].union(
+                    EMPTY.union(*pos_args).union(kw_taints)
+                )
+            if site.attr in lattice.KEYED_ACCESS_ATTRS and call.args:
+                # d.get(key) / d.pop(key): the key is control
+                # dependence, like a subscript read — the result
+                # carries the container (and default), not the key.
+                return base_taints.union(*pos_args[1:]).union(kw_taints)
+            return all_args
+
+        # Internal functions, methods and constructors.
+        if site.kind == "constructor":
+            init = None
+            cls = self.graph.classes.get(site.target or "")
+            if cls is not None:
+                init_fi = self.graph.lookup_method(cls, "__init__")
+                if init_fi is not None:
+                    init = self.summaries.get(init_fi.qualname)
+                    self._apply_callee(
+                        init_fi, init, call, [EMPTY, *pos_args], kw_taints
+                    )
+            # The object carries what it was built from.
+            return all_args
+
+        if site.kind == "internal" and site.target is not None:
+            callee = self.graph.functions.get(site.target)
+            summary = self.summaries.get(site.target)
+            args = pos_args
+            if (
+                callee is not None
+                and callee.cls is not None
+                and not callee.is_static
+                and isinstance(call.func, ast.Attribute)
+            ):
+                # Bound call: the receiver is argument 0.
+                args = [base_taints, *pos_args]
+            result = self._apply_callee(callee, summary, call, args, kw_taints)
+            return result
+
+        return all_args
+
+    def _apply_callee(
+        self,
+        callee: "FunctionInfo | None",
+        summary: "FunctionSummary | None",
+        call: ast.Call,
+        args: "list[Taints]",
+        kw_taints: Taints,
+    ) -> Taints:
+        """Substitute a callee summary at a call site: map argument
+        taints through parameter flows, fire sink flows, inherit
+        effects, and return the call's result taint."""
+        if callee is None or summary is None:
+            return EMPTY.union(*args).union(kw_taints)
+        frame = f"via {callee.qualname} (called at {self._site(call)})"
+
+        result = Taints(
+            kinds={
+                kind: lattice.extend_chain(chain, frame)
+                for kind, chain in summary.returns.kinds.items()
+            }
+        )
+        spill = kw_taints  # keyword taints reach params we do not map
+        for index, flow in summary.returns.params.items():
+            arg = args[index] if index < len(args) else spill
+            passed = arg.without(flow.cleared)
+            result = result.union(
+                Taints(
+                    kinds={
+                        kind: lattice.extend_chain(chain, frame)
+                        for kind, chain in passed.kinds.items()
+                    },
+                    params=passed.params,
+                )
+            )
+        # Unmapped keyword arguments conservatively reach the result.
+        result = result.union(
+            Taints(
+                kinds={
+                    kind: lattice.extend_chain(chain, frame)
+                    for kind, chain in spill.kinds.items()
+                },
+                params=spill.params,
+            )
+        )
+
+        # Effects propagate to the caller.
+        for effect, chain in summary.effects.items():
+            self.summary.effects.setdefault(
+                effect, lattice.extend_chain(chain, frame)
+            )
+
+        # Sinks: if the callee *is* a canonical sink, report the taint
+        # crossing that boundary and stop — its internal calls to
+        # deeper sinks (encode_views -> canonical_bytes) are the sink's
+        # own plumbing, and cascading them would triplicate findings.
+        label = lattice.canonical_sink_label(callee.qualname)
+        if label is not None:
+            every = EMPTY.union(*args).union(kw_taints)
+            self._sink_hit(callee.qualname, label, call, every, ())
+        else:
+            # Otherwise: arguments continuing into sinks further down.
+            self._fire_sinks(callee, summary, call, args, kw_taints)
+        return result
+
+    def _fire_sinks(
+        self, callee, summary, call, args, kw_taints: Taints
+    ) -> None:
+        for (index, sink_qual), flow in summary.param_sinks.items():
+            arg = args[index] if index < len(args) else kw_taints
+            passed = arg.without(flow.cleared)
+            if passed.is_empty():
+                continue
+            label = lattice.canonical_sink_label(sink_qual) or sink_qual
+            self._sink_hit(sink_qual, label, call, passed, flow.chain)
+
+    def _sink_hit(
+        self,
+        sink_qual: str,
+        label: str,
+        call: ast.Call,
+        taints: Taints,
+        onward_chain: "tuple[str, ...]",
+    ) -> None:
+        """Taint arrived at a sink: emit events for concrete kinds and
+        record parameter markers in this function's own summary."""
+        for kind, chain in taints.kinds.items():
+            if self.on_sink is not None:
+                full = chain + onward_chain
+                full = lattice.extend_chain(
+                    full, f"reaches {label} at {self._site(call)}"
+                )
+                self.on_sink(
+                    SinkEvent(
+                        function=self.fi,
+                        lineno=call.lineno,
+                        col=call.col_offset + 1,
+                        kind=kind,
+                        chain=full,
+                        sink_label=label,
+                        sink_qualname=sink_qual,
+                    )
+                )
+        for index, flow in taints.params.items():
+            key = (index, sink_qual)
+            carried = ParamFlow(
+                cleared=flow.cleared,
+                chain=lattice.extend_chain(
+                    flow.chain,
+                    f"passed on at {self._site(call)} toward {label}",
+                ),
+            )
+            existing = self.summary.param_sinks.get(key)
+            self.summary.param_sinks[key] = (
+                existing.merge(carried) if existing is not None else carried
+            )
+
+
+def compute_summaries(graph: CallGraph) -> "dict[str, FunctionSummary]":
+    """Iterate per-function summaries to the interprocedural fixpoint."""
+    summaries: "dict[str, FunctionSummary]" = {
+        qualname: FunctionSummary() for qualname in graph.functions
+    }
+    for _ in range(MAX_PASSES):
+        changed = False
+        for qualname, fi in graph.functions.items():
+            new = _Evaluator(graph, summaries, fi).run()
+            if new.shape() != summaries[qualname].shape():
+                summaries[qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def collect_events(
+    graph: CallGraph, summaries: "dict[str, FunctionSummary]"
+) -> "tuple[list[SinkEvent], list[ReturnEvent]]":
+    """One reporting pass with the final summaries: log every concrete
+    taint arriving at a canonical sink, and every tainted ``return`` of
+    an algorithm-protocol method."""
+    sink_events: "list[SinkEvent]" = []
+    return_events: "list[ReturnEvent]" = []
+    for fi in graph.functions.values():
+        wants_returns = (
+            fi.cls is not None
+            and fi.node.name in lattice.ALGORITHM_PROTOCOL
+            and graph.class_derives_from(fi.cls, lattice.ALGORITHM_BASES)
+        )
+        _Evaluator(
+            graph,
+            summaries,
+            fi,
+            on_sink=sink_events.append,
+            on_return=return_events.append if wants_returns else None,
+        ).run()
+    # Deterministic order; dedup repeated events from loop double-passes.
+    seen: set = set()
+    unique_sinks = []
+    for event in sink_events:
+        key = (
+            event.function.qualname,
+            event.lineno,
+            event.col,
+            event.kind,
+            event.sink_qualname,
+        )
+        if key not in seen:
+            seen.add(key)
+            unique_sinks.append(event)
+    seen.clear()
+    unique_returns = []
+    for revent in return_events:
+        key = (revent.function.qualname, revent.lineno, revent.kind)
+        if key not in seen:
+            seen.add(key)
+            unique_returns.append(revent)
+    unique_sinks.sort(
+        key=lambda e: (e.function.relpath, e.lineno, e.col, e.kind)
+    )
+    unique_returns.sort(
+        key=lambda e: (e.function.relpath, e.lineno, e.kind)
+    )
+    return unique_sinks, unique_returns

@@ -63,6 +63,27 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) checks.
+
+    A program rule sees the entire analyzed tree at once — a
+    :class:`repro.lint.flow.FlowProgram` with the call graph and the
+    per-function taint summaries — instead of one module at a time.
+    Its findings still anchor at concrete ``path:line`` locations, so
+    suppressions, fingerprints and baselines apply unchanged.
+    """
+
+    is_program_rule = True
+
+    def check(self, module: "ModuleContext") -> Iterator[Finding]:
+        raise TypeError(
+            f"{self.rule_id} is a whole-program rule; use check_program()"
+        )
+
+    def check_program(self, program) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def _match(relpath: str, pattern: str) -> bool:
     """Prefix match for directory-style patterns, fnmatch otherwise."""
     if any(ch in pattern for ch in "*?["):
@@ -88,11 +109,20 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules(select: Iterable[str] = ()) -> list[Rule]:
-    """Instantiate the registered rules, optionally filtered by id."""
+    """Instantiate the registered rules, optionally filtered by id.
+
+    A ``select`` token is either an exact rule id (``FLOW001``) or a
+    family prefix (``FLOW`` selects every ``FLOW###`` rule), so CI can
+    gate on a whole rule family without enumerating its members.
+    """
     import repro.lint.rules  # noqa: F401  -- populates the registry
 
     wanted = {rule_id.upper() for rule_id in select}
-    unknown = wanted - set(_REGISTRY)
+    unknown = {
+        token
+        for token in wanted
+        if not any(rule_id.startswith(token) for rule_id in _REGISTRY)
+    }
     if unknown:
         raise KeyError(
             f"unknown rule id(s): {', '.join(sorted(unknown))}; "
@@ -101,7 +131,7 @@ def all_rules(select: Iterable[str] = ()) -> list[Rule]:
     return [
         rule_cls()
         for rule_id, rule_cls in sorted(_REGISTRY.items())
-        if not wanted or rule_id in wanted
+        if not wanted or any(rule_id.startswith(token) for token in wanted)
     ]
 
 
@@ -111,4 +141,4 @@ def known_rule_ids() -> list[str]:
     return sorted(_REGISTRY)
 
 
-__all__ = ["Rule", "all_rules", "known_rule_ids", "register"]
+__all__ = ["ProgramRule", "Rule", "all_rules", "known_rule_ids", "register"]

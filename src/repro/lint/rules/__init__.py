@@ -1,5 +1,5 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.lint.rules import anonymity, determinism, engine, wallclock
+from repro.lint.rules import anonymity, determinism, engine, flow, wallclock
 
-__all__ = ["anonymity", "determinism", "engine", "wallclock"]
+__all__ = ["anonymity", "determinism", "engine", "flow", "wallclock"]

@@ -1,0 +1,45 @@
+"""The hashseed gate's manifest: shape, determinism, CLI modes.
+
+The cross-interpreter comparison itself runs as ``make hashseed-smoke``
+(two child processes under different ``PYTHONHASHSEED`` values); these
+tests pin the in-process half — the manifest covers every canonical
+surface, is stable across repeated calls, and the ``--emit`` mode
+prints exactly the JSON the driver diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import string
+
+from repro.experiments.hashseed_gate import emit_manifest, main
+
+HEX = set(string.hexdigits.lower())
+
+
+def test_manifest_covers_all_canonical_surfaces():
+    manifest = emit_manifest()
+    surfaces = {label.split("/", 1)[1] for label in manifest}
+    assert {"views", "refinement", "quotient", "replayed-views"} <= surfaces
+    assert {"key/views", "key/refinement", "key/quotient", "key/task"} <= {
+        s for s in surfaces if s.startswith("key/")
+    } | {"key"}
+    # Every digest is sha256 hex or an artifact key (also a digest).
+    for label, value in manifest.items():
+        assert set(value) <= HEX, f"{label}: non-hex digest {value!r}"
+
+
+def test_manifest_is_stable_in_process():
+    assert emit_manifest() == emit_manifest()
+
+
+def test_emit_mode_prints_sorted_json(capsys):
+    assert main(["--emit"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == emit_manifest()
+    assert list(payload) == sorted(payload)
+
+
+def test_unknown_args_rejected(capsys):
+    assert main(["--bogus"]) == 2
+    assert "usage" in capsys.readouterr().err

@@ -117,6 +117,46 @@ def test_rewrite_preserves_notes_and_drops_expired(tmp_path):
     assert final.entries[0]["note"] == "legacy sampler, tracked in #123"
 
 
+def test_select_run_does_not_expire_other_rules_entries(tmp_path):
+    """A ``--select`` run that never executes DET001 must not expire a
+    DET001 baseline entry: the finding did not disappear, the rule just
+    did not run.  (Regression: Baseline.apply used to treat any
+    unmatched entry as stale regardless of which rules were active.)"""
+    _write_tree(tmp_path, {"src/repro/core/sample.py": VIOLATING})
+    first = run_lint([tmp_path], tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(baseline_path, first.findings).write()
+
+    filtered = run_lint(
+        [tmp_path],
+        tmp_path,
+        select=["WALL"],
+        baseline=Baseline.load(baseline_path),
+    )
+    assert filtered.expired_baseline == []
+    assert filtered.exit_code == 0
+
+    # Selecting the entry's own family still matches (and still expires
+    # once the finding is truly gone).
+    selected = run_lint(
+        [tmp_path],
+        tmp_path,
+        select=["DET"],
+        baseline=Baseline.load(baseline_path),
+    )
+    assert selected.expired_baseline == []
+    assert selected.counts["baselined"] == 1
+
+    _write_tree(tmp_path, {"src/repro/core/sample.py": CLEAN})
+    fixed = run_lint(
+        [tmp_path],
+        tmp_path,
+        select=["DET"],
+        baseline=Baseline.load(baseline_path),
+    )
+    assert len(fixed.expired_baseline) == 1
+
+
 def test_malformed_baseline_raises(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text("{not json", encoding="utf-8")

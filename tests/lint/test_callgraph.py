@@ -1,0 +1,323 @@
+"""The whole-program call graph: resolution machinery and coverage.
+
+Synthetic trees pin each resolution path (aliased imports, re-exports,
+``self``/``super()``/constructor-typed receivers, decorated defs, the
+unique-method-name heuristic and its builtin-attr guard); the final
+test builds the graph over the *real* ``src/repro`` tree and pins the
+coverage contract: ≥95% of non-dunder defs are graph nodes, and every
+call the resolver gives up on is recorded, never dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.analyzer import ModuleContext
+from repro.lint.astutil import ImportMap
+from repro.lint.flow.callgraph import build_call_graph, module_name_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _module(relpath: str, source: str, base: Path) -> ModuleContext:
+    tree = ast.parse(source)
+    return ModuleContext(
+        path=base / relpath,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        imports=ImportMap(tree),
+        lines=source.splitlines(),
+    )
+
+
+def graph_of(files: dict, base: Path = Path("/synthetic")):
+    return build_call_graph(
+        [_module(relpath, source, base) for relpath, source in files.items()]
+    )
+
+
+def test_module_name_of():
+    assert module_name_of("src/repro/views/view_tree.py") == "repro.views.view_tree"
+    assert module_name_of("src/repro/views/__init__.py") == "repro.views"
+    assert module_name_of("tests/test_x.py") is None
+    assert module_name_of("src/repro/not-a-module.py") is None
+
+
+def test_aliased_import_resolution():
+    graph = graph_of(
+        {
+            "src/repro/core/util.py": "def helper():\n    return 1\n",
+            "src/repro/core/driver.py": (
+                "import repro.core.util as u\n"
+                "def run():\n"
+                "    return u.helper()\n"
+            ),
+        }
+    )
+    assert ("repro.core.driver.run", "repro.core.util.helper") in graph.edges
+
+
+def test_package_reexport_resolution():
+    graph = graph_of(
+        {
+            "src/repro/views/__init__.py": (
+                "from repro.views.impl import thing\n"
+            ),
+            "src/repro/views/impl.py": "def thing():\n    return 0\n",
+            "src/repro/core/use.py": (
+                "from repro.views import thing\n"
+                "def run():\n"
+                "    return thing()\n"
+            ),
+        }
+    )
+    assert ("repro.core.use.run", "repro.views.impl.thing") in graph.edges
+
+
+def test_self_method_resolution():
+    graph = graph_of(
+        {
+            "src/repro/core/cls.py": (
+                "class Worker:\n"
+                "    def step(self):\n"
+                "        return self.scan()\n"
+                "    def scan(self):\n"
+                "        return 1\n"
+            ),
+        }
+    )
+    assert (
+        "repro.core.cls.Worker.step",
+        "repro.core.cls.Worker.scan",
+    ) in graph.edges
+
+
+def test_super_delegation():
+    graph = graph_of(
+        {
+            "src/repro/core/base.py": (
+                "class Base:\n"
+                "    def setup(self):\n"
+                "        return 0\n"
+            ),
+            "src/repro/core/child.py": (
+                "from repro.core.base import Base\n"
+                "class Child(Base):\n"
+                "    def setup(self):\n"
+                "        return super().setup() + 1\n"
+            ),
+        }
+    )
+    assert (
+        "repro.core.child.Child.setup",
+        "repro.core.base.Base.setup",
+    ) in graph.edges
+
+
+def test_inherited_method_through_base_chain():
+    graph = graph_of(
+        {
+            "src/repro/core/chain.py": (
+                "class A:\n"
+                "    def deep(self):\n"
+                "        return 0\n"
+                "class B(A):\n"
+                "    pass\n"
+                "class C(B):\n"
+                "    def go(self):\n"
+                "        return self.deep()\n"
+            ),
+        }
+    )
+    assert (
+        "repro.core.chain.C.go",
+        "repro.core.chain.A.deep",
+    ) in graph.edges
+
+
+def test_constructor_typed_local():
+    graph = graph_of(
+        {
+            "src/repro/core/make.py": (
+                "class Engine:\n"
+                "    def spin(self):\n"
+                "        return 1\n"
+                "def run():\n"
+                "    e = Engine()\n"
+                "    return e.spin()\n"
+            ),
+        }
+    )
+    assert ("repro.core.make.run", "repro.core.make.Engine") in graph.edges
+    assert (
+        "repro.core.make.run",
+        "repro.core.make.Engine.spin",
+    ) in graph.edges
+
+
+def test_decorated_defs_are_nodes():
+    graph = graph_of(
+        {
+            "src/repro/core/deco.py": (
+                "import functools\n"
+                "class Box:\n"
+                "    @staticmethod\n"
+                "    def build():\n"
+                "        return Box()\n"
+                "@functools.lru_cache(maxsize=None)\n"
+                "def cached(x):\n"
+                "    return x\n"
+                "def run():\n"
+                "    return cached(1)\n"
+            ),
+        }
+    )
+    assert "repro.core.deco.Box.build" in graph.functions
+    assert graph.functions["repro.core.deco.Box.build"].is_static
+    assert "repro.core.deco.cached" in graph.functions
+    assert ("repro.core.deco.run", "repro.core.deco.cached") in graph.edges
+
+
+def test_nested_defs_are_nodes_not_methods():
+    graph = graph_of(
+        {
+            "src/repro/core/nest.py": (
+                "class Outer:\n"
+                "    def method(self):\n"
+                "        def closure():\n"
+                "            return 1\n"
+                "        return closure()\n"
+            ),
+        }
+    )
+    nested = graph.functions["repro.core.nest.Outer.method.closure"]
+    assert nested.cls is None  # a closure, not a method of Outer
+    assert "closure" not in graph.classes.get("repro.core.nest.Outer").methods
+
+
+def test_unique_method_name_heuristic():
+    graph = graph_of(
+        {
+            "src/repro/core/heur.py": (
+                "class Only:\n"
+                "    def frobnicate(self):\n"
+                "        return 1\n"
+                "def run(obj):\n"
+                "    return obj.frobnicate()\n"
+            ),
+        }
+    )
+    assert (
+        "repro.core.heur.run",
+        "repro.core.heur.Only.frobnicate",
+    ) in graph.edges
+
+
+def test_heuristic_skips_builtin_container_attrs():
+    # One program class defines `append`, but `pool.append(...)` on an
+    # untyped receiver is almost certainly a list — must NOT bind.
+    graph = graph_of(
+        {
+            "src/repro/core/store.py": (
+                "class Store:\n"
+                "    def append(self, row):\n"
+                "        return row\n"
+                "def run(pool):\n"
+                "    pool.append(1)\n"
+            ),
+        }
+    )
+    assert (
+        "repro.core.store.run",
+        "repro.core.store.Store.append",
+    ) not in graph.edges
+
+
+def test_ambiguous_calls_recorded_with_candidates():
+    graph = graph_of(
+        {
+            "src/repro/core/amb.py": (
+                "class A:\n"
+                "    def zap(self):\n"
+                "        return 1\n"
+                "class B:\n"
+                "    def zap(self):\n"
+                "        return 2\n"
+                "def run(obj):\n"
+                "    return obj.zap()\n"
+            ),
+        }
+    )
+    (entry,) = [a for a in graph.ambiguous if a["caller"] == "repro.core.amb.run"]
+    assert set(entry["candidates"]) == {
+        "repro.core.amb.A.zap",
+        "repro.core.amb.B.zap",
+    }
+
+
+def test_unresolved_calls_recorded_never_dropped():
+    graph = graph_of(
+        {
+            "src/repro/core/dyn.py": (
+                "TABLE = {}\n"
+                "def run(k, x):\n"
+                "    fn = TABLE[k]\n"
+                "    return fn(x)\n"
+            ),
+        }
+    )
+    names = [u["name"] for u in graph.unresolved]
+    assert "fn" in names
+
+
+def test_call_graph_dump_schema():
+    graph = graph_of(
+        {
+            "src/repro/core/util.py": (
+                "def helper():\n"
+                "    return 1\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        }
+    )
+    dump = graph.as_dict()
+    assert dump["schema_version"] == 1
+    assert dump["stats"]["functions"] == 2
+    assert ["repro.core.util.run", "repro.core.util.helper"] in dump["edges"]
+    qualnames = {n["qualname"] for n in dump["nodes"]}
+    assert qualnames == {"repro.core.util.helper", "repro.core.util.run"}
+
+
+def _real_tree_modules() -> list:
+    modules = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        relpath = path.relative_to(REPO_ROOT).as_posix()
+        source = path.read_text(encoding="utf-8")
+        modules.append(_module(relpath, source, REPO_ROOT))
+    return modules
+
+
+def test_real_tree_def_coverage():
+    """≥95% of non-dunder defs in src/repro are call-graph nodes, and
+    no call site disappears: unresolved/ambiguous are recorded."""
+    graph = build_call_graph(_real_tree_modules())
+    assert graph.nondunder_def_count > 300  # sanity: the tree is large
+    nondunder_nodes = sum(
+        1
+        for fi in graph.functions.values()
+        if not (
+            fi.node.name.startswith("__") and fi.node.name.endswith("__")
+        )
+    )
+    coverage = nondunder_nodes / graph.nondunder_def_count
+    assert coverage >= 0.95, f"call-graph def coverage {coverage:.1%}"
+    stats = graph.stats()
+    assert stats["unresolved_calls"] == len(graph.unresolved)
+    assert stats["ambiguous_calls"] == len(graph.ambiguous)
+    # Resolution actually happened: the edge set is substantial.
+    assert stats["edges"] > 500

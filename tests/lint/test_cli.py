@@ -96,8 +96,11 @@ def test_json_report_schema(tmp_path, capsys):
         "message",
         "fingerprint",
         "baselined",
+        "witness",
     }
     assert finding["rule"] == "DET001"
+    assert finding["witness"] == []  # syntactic rules carry no chain
+    assert payload["call_graph"] is None  # only with --call-graph
     assert finding["path"] == "src/repro/core/sample.py"
     assert {r["id"] for r in payload["rules"]} >= {"DET001", "DET002"}
     assert payload["baseline"] == {"path": None, "expired": []}
